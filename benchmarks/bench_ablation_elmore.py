@@ -1,0 +1,34 @@
+"""Ablation — the classic Elmore pre-routing STA as a predictor.
+
+The paper's introduction motivates learning-based prediction by the
+imprecision of the linear RC (Elmore) model.  This benchmark measures how
+the raw pre-routing STA estimate ranks against the learned models when
+timing optimization is in the loop.
+"""
+
+import numpy as np
+
+from repro.baselines import elmore_endpoint_r2
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.eval import r2_score
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_elmore(benchmark, train_samples_augmented, test_samples):
+    def scenario():
+        elmore = float(np.mean([elmore_endpoint_r2(s)
+                                for s in test_samples]))
+        predictor = TimingPredictor(
+            model_config=ModelConfig(variant="full"),
+            trainer_config=TrainerConfig(epochs=100))
+        predictor.fit(train_samples_augmented)
+        ours = float(np.mean([r2_score(s.y, predictor.predict_array(s))
+                              for s in test_samples]))
+        return elmore, ours
+
+    elmore, ours = run_once(benchmark, scenario)
+    print(f"\nAblation — Elmore pre-route STA R² {elmore:.4f} vs "
+          f"our full model R² {ours:.4f}")
+    assert ours > elmore, \
+        "the learned model must beat the raw pre-routing estimate"

@@ -1,0 +1,50 @@
+"""Fig. 1 — netlist restructuring during timing optimization.
+
+Reproduces the paper's motivating example: a sub-netlist is replaced by the
+optimizer, which removes the original pins and makes the replaced arcs
+unlabelable.  The benchmark decomposes a wide gate (the paper's example
+replaces multi-input gates with more efficient two-input trees) and shows
+the input-feature / ground-truth mismatch.
+"""
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.opt import OptReport, decompose_gate, diff_replaced_edges
+from repro.placement import RowGrid, build_die, legalize, place
+
+from benchmarks.conftest import run_once
+
+
+def _setup():
+    spec = DESIGN_PRESETS["xgate"].scaled(0.3)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl
+
+
+def test_fig1_restructure(benchmark):
+    nl, pl = _setup()
+
+    def scenario():
+        opt = nl.clone()
+        opt_pl = type(pl)(die=pl.die, cell_xy=dict(pl.cell_xy))
+        grid = RowGrid.from_placement(opt, opt_pl)
+        wide = next(cid for cid in sorted(opt.cells)
+                    if opt.cell_type(cid).n_inputs >= 3
+                    and not opt.cell_type(cid).is_sequential)
+        before = opt.cells[wide].type_name
+        new_cells = decompose_gate(opt, opt_pl, grid, wide)
+        report = OptReport(design="fig1")
+        diff_replaced_edges(nl, opt, report)
+        return before, new_cells, report, opt
+
+    before, new_cells, report, opt = run_once(benchmark, scenario)
+    print(f"\nFig. 1 (reproduced): {before} replaced by "
+          f"{[opt.cells[c].type_name for c in new_cells]}")
+    print(f"replaced cell edges: {len(report.replaced_cell_edges)} "
+          f"(the paper's C1–C4: arcs that can no longer be labeled)")
+    print(f"replaced net edges:  {len(report.replaced_net_edges)}")
+    assert new_cells is not None
+    assert len(report.replaced_cell_edges) >= 3
+    assert len(report.replaced_net_edges) >= 3

@@ -1,0 +1,33 @@
+"""Table I — dataset statistics and the impact of timing optimization.
+
+Regenerates, for every benchmark design, the flow with and without the
+timing optimizer and reports the sign-off deltas: Δwns, Δtns, the fraction
+of replaced net/cell edges, and the delay change on unreplaced edges.
+
+Paper shape to reproduce: large Δwns/Δtns (≈90 %+), ~30–50 % net edges and
+~10–40 % cell edges replaced, net replacement > cell replacement.
+"""
+
+from repro.eval.experiments import format_table1, run_table1
+from repro.netlist import DESIGN_PRESETS
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, lambda: run_table1(sorted(DESIGN_PRESETS)))
+    print()
+    print(format_table1(rows))
+
+    avg_net = sum(r.net_replaced for r in rows) / len(rows)
+    avg_cell = sum(r.cell_replaced for r in rows) / len(rows)
+    avg_tns = sum(r.d_tns for r in rows) / len(rows)
+    print(f"\navg: Δtns {avg_tns:.1%}, net replaced {avg_net:.1%}, "
+          f"cell replaced {avg_cell:.1%} "
+          f"(paper: 92.8–98.2 %, ~40 %, ~21 %)")
+
+    # Shape assertions (loose: the substrate is a simulator).
+    assert avg_tns > 0.5, "optimization should strongly improve TNS"
+    assert 0.15 < avg_net < 0.8
+    assert 0.05 < avg_cell < 0.6
+    assert avg_net > avg_cell, "nets are replaced more than cells"

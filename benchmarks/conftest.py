@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate every table and figure of the paper.  Heavy artifacts
+(the ten reference flows) are cached under ``data/cache`` so re-runs are
+fast; each benchmark prints the regenerated table so the output can be
+compared with the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.flow import FlowConfig
+from repro.ml import build_dataset
+from repro.netlist import TEST_DESIGNS, TRAIN_DESIGNS
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / "data" / "cache"
+ARTIFACTS = Path(__file__).resolve().parent.parent / "data" / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture(scope="session")
+def train_samples():
+    """The five training designs (cached flows)."""
+    return build_dataset(list(TRAIN_DESIGNS), cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def train_samples_augmented(train_samples):
+    """Training designs plus two seed-augmented placements each."""
+    out = list(train_samples)
+    for seed in (1, 2):
+        out += build_dataset(list(TRAIN_DESIGNS),
+                             flow_config=FlowConfig(base_seed=seed),
+                             cache_dir=CACHE_DIR, seed=seed)
+    return out
+
+
+@pytest.fixture(scope="session")
+def test_samples():
+    """The five held-out test designs (cached flows)."""
+    return build_dataset(list(TEST_DESIGNS), cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def all_samples(train_samples, test_samples):
+    return list(train_samples) + list(test_samples)
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,47 @@
+"""Train on the full training split, save the model, reload, predict.
+
+The production use-case: fit once on completed flows, then evaluate fresh
+placements in milliseconds (Table III's "pre + infer" path).
+
+    python examples/train_and_predict.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.eval import format_table, r2_score
+from repro.flow import FlowConfig
+from repro.ml import build_dataset
+from repro.netlist import TEST_DESIGNS, TRAIN_DESIGNS
+
+
+def main() -> None:
+    cache = Path("data/cache")
+    print("building dataset (cached after the first run)...")
+    train = build_dataset(list(TRAIN_DESIGNS), cache_dir=cache)
+    test = build_dataset(list(TEST_DESIGNS), cache_dir=cache)
+
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="full"),
+        trainer_config=TrainerConfig(epochs=60))
+    print("training the full multimodal model...")
+    predictor.fit(train)
+
+    model_path = Path("data") / "predictor_full.pkl"
+    predictor.save(model_path)
+    print(f"saved -> {model_path}")
+    loaded = TimingPredictor.load(model_path)
+
+    rows = []
+    for s in test:
+        pred = loaded.predict_array(s)
+        rows.append([s.name, len(s.y), r2_score(s.y, pred),
+                     f"{loaded.infer_times[s.name] * 1e3:.0f} ms"])
+    print(format_table(["design", "#endpoints", "R²", "inference"], rows,
+                       title="held-out designs"))
+
+
+if __name__ == "__main__":
+    main()

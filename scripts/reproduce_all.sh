@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: install, test, regenerate every table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python setup.py develop
+pytest tests/ 2>&1 | tee test_output.txt
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "Done. See EXPERIMENTS.md for paper-vs-measured discussion."

@@ -1,0 +1,21 @@
+"""Full Table II run (also warms the dataset cache)."""
+import logging, time
+logging.getLogger("repro").setLevel(logging.INFO)
+from repro.flow import FlowConfig
+from repro.ml import build_dataset
+from repro.netlist import TRAIN_DESIGNS, TEST_DESIGNS
+from repro.eval.experiments import run_table2, format_table2
+
+t0 = time.time()
+train = build_dataset(list(TRAIN_DESIGNS), cache_dir="data/cache")
+# Seed-augmented copies of the training designs: same RTL, fresh
+# placement/floorplan — more layouts for the CNN branch to generalize from.
+train += build_dataset(list(TRAIN_DESIGNS),
+                       flow_config=FlowConfig(base_seed=1),
+                       cache_dir="data/cache", seed=1)
+test = build_dataset(list(TEST_DESIGNS), cache_dir="data/cache")
+print(f"dataset: {time.time()-t0:.0f}s", flush=True)
+t0 = time.time()
+res = run_table2(train, test, epochs=120)
+print(f"table2: {time.time()-t0:.0f}s", flush=True)
+print(format_table2(res))

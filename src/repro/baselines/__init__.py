@@ -1,0 +1,28 @@
+"""Prior-work baselines: DAC'19, DAC'22-He, DAC'22-Guo, Elmore STA."""
+
+from repro.baselines.elmore import elmore_endpoint_arrival, elmore_endpoint_r2
+from repro.baselines.guo import AUX_TASKS, GuoBaseline, GuoConfig
+from repro.baselines.local_features import (
+    DAC19_DIM,
+    DAC22HE_DIM,
+    stage_features,
+    stage_labels,
+)
+from repro.baselines.pert import endpoint_arrival, pert_arrival
+from repro.baselines.two_stage import TwoStageBaseline, TwoStageConfig
+
+__all__ = [
+    "elmore_endpoint_arrival",
+    "elmore_endpoint_r2",
+    "AUX_TASKS",
+    "GuoBaseline",
+    "GuoConfig",
+    "DAC19_DIM",
+    "DAC22HE_DIM",
+    "stage_features",
+    "stage_labels",
+    "endpoint_arrival",
+    "pert_arrival",
+    "TwoStageBaseline",
+    "TwoStageConfig",
+]

@@ -1,0 +1,24 @@
+"""Analytical pre-routing baseline: Elmore-model STA arrival.
+
+Not a learned model — the classic quick evaluation the paper's introduction
+describes ([1]): run STA on the placement with Elmore wire estimates and no
+knowledge of the optimizer.  Used as a reference point in the examples and
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import r2_score
+from repro.ml.sample import DesignSample
+
+
+def elmore_endpoint_arrival(sample: DesignSample) -> np.ndarray:
+    """Pre-routing STA arrival at the endpoints (already in the sample)."""
+    return sample.pre_route_arrival[sample.endpoint_nodes]
+
+
+def elmore_endpoint_r2(sample: DesignSample) -> float:
+    """R² of the raw pre-routing estimate against sign-off arrival."""
+    return r2_score(sample.y, elmore_endpoint_arrival(sample))

@@ -1,0 +1,135 @@
+"""End-to-end GNN baseline: DAC'22-Guo [4] (TimingGCN-style).
+
+Propagates embeddings through the pin heterograph in topological order and
+reads predictions from per-node heads.  Following the paper's adaptation,
+it is supervised by **net delay, cell delay, pin slew and pin arrival time**
+on surviving elements (auxiliary tasks) with endpoint arrival read from the
+arrival head — so, unlike our model, its training signal leans on local
+quantities that restructuring renders inconsistent with the sign-off
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.gnn import EndpointGNN
+from repro.eval import r2_score
+from repro.ml.features import CELL_FEATURE_DIM, NET_FEATURE_DIM
+from repro.ml.sample import DesignSample
+from repro.nn import Adam, mlp, mse_loss
+from repro.utils import require, spawn_rng
+
+#: The auxiliary supervision tasks: (name, per-node label attribute).
+AUX_TASKS: Tuple[Tuple[str, str], ...] = (
+    ("arrival", "aux_arrival"),
+    ("slew", "aux_slew"),
+    ("net_delay", "aux_net_delay"),
+    ("cell_delay", "aux_cell_delay"),
+)
+
+
+@dataclass(frozen=True)
+class GuoConfig:
+    """Hyper-parameters of the end-to-end baseline."""
+
+    hidden: int = 64
+    head_hidden: int = 64
+    epochs: int = 60
+    lr: float = 1e-3
+    aux_weight: float = 1.0
+    seed: int = 0
+
+
+class GuoBaseline:
+    """Multi-task end-to-end GNN timing predictor."""
+
+    def __init__(self, config: GuoConfig = GuoConfig()) -> None:
+        self.config = config
+        rng = spawn_rng("baseline/guo", config.seed)
+        self.gnn = EndpointGNN(config.hidden, CELL_FEATURE_DIM,
+                               NET_FEATURE_DIM, rng)
+        self.heads = {name: mlp([config.hidden, config.head_hidden, 1], rng)
+                      for name, _ in AUX_TASKS}
+        self._norm: Dict[str, Tuple[float, float]] = {}
+
+    def _parameters(self):
+        params = list(self.gnn.parameters())
+        for head in self.heads.values():
+            params.extend(head.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+    def fit(self, train_samples: List[DesignSample]) -> None:
+        """Multi-task training over the training designs."""
+        # Per-task z-normalization over all finite labels.
+        for name, attr in AUX_TASKS:
+            vals = np.concatenate([
+                getattr(s, attr)[np.isfinite(getattr(s, attr))]
+                for s in train_samples])
+            require(len(vals) > 10, f"task {name} has too few labels")
+            self._norm[name] = (float(vals.mean()),
+                                float(max(vals.std(), 1e-9)))
+
+        optimizer = Adam(self._parameters(), lr=self.config.lr)
+        rng = spawn_rng("baseline/guo/train", self.config.seed)
+        for _ in range(self.config.epochs):
+            order = rng.permutation(len(train_samples))
+            for idx in order:
+                sample = train_samples[idx]
+                h = self.gnn.forward(sample)
+                grad_h = np.zeros_like(h)
+                optimizer.zero_grad()
+                for name, attr in AUX_TASKS:
+                    labels = getattr(sample, attr)
+                    nodes = np.where(np.isfinite(labels))[0]
+                    if len(nodes) < 2:
+                        continue
+                    mean, std = self._norm[name]
+                    target = (labels[nodes] - mean) / std
+                    pred = self.heads[name].forward(h[nodes]).ravel()
+                    _, grad = mse_loss(pred, target)
+                    grad = grad * self.config.aux_weight
+                    gx = self.heads[name].backward(grad[:, None])
+                    np.add.at(grad_h, nodes, gx)
+                self.gnn.backward(grad_h)
+                optimizer.step()
+
+    # ------------------------------------------------------------------
+    def _head_prediction(self, sample: DesignSample, name: str,
+                         nodes: np.ndarray) -> np.ndarray:
+        h = self.gnn.forward(sample)
+        _drain(self.gnn)  # inference only: discard level caches
+        pred = self.heads[name].forward(h[nodes]).ravel()
+        _drain(self.heads[name])
+        mean, std = self._norm[name]
+        return pred * std + mean
+
+    def predict_endpoint_arrival(self, sample: DesignSample) -> np.ndarray:
+        """Arrival-head prediction at the endpoint nodes."""
+        return self._head_prediction(sample, "arrival",
+                                     sample.endpoint_nodes)
+
+    def endpoint_r2(self, sample: DesignSample) -> float:
+        return r2_score(sample.y, self.predict_endpoint_arrival(sample))
+
+    def local_r2(self, sample: DesignSample) -> Tuple[float, float]:
+        """(net delay R², cell delay R²) on surviving elements."""
+        out = []
+        for name in ("net_delay", "cell_delay"):
+            attr = dict(AUX_TASKS)[name]
+            labels = getattr(sample, attr)
+            nodes = np.where(np.isfinite(labels))[0]
+            pred = self._head_prediction(sample, name, nodes)
+            out.append(r2_score(labels[nodes], pred))
+        return tuple(out)
+
+
+def _drain(module) -> None:
+    for m in module.modules():
+        cache = getattr(m, "_cache", None)
+        if isinstance(cache, list):
+            cache.clear()

@@ -1,0 +1,127 @@
+"""Per-stage (net edge) features and labels for the local-view baselines.
+
+A *stage* is one net edge (driver pin → sink pin) together with the cell
+arc that produces the driver's signal.  DAC'19 [2] uses placement-stage
+features; DAC'22-He [3] adds "look-ahead RC network" features (estimated
+wire RC, Elmore delay, load, slew), which is what made it more accurate on
+un-optimized flows.
+
+Stage labels come from sign-off timing and only exist where *both* the net
+edge and the driving cell survived optimization — the semi-supervised
+adaptation the paper applies to these baselines (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.liberty import GATE_KINDS
+from repro.ml.sample import DesignSample
+from repro.netlist import Netlist
+from repro.placement import Placement
+from repro.timing import TimingGraph
+
+DAC19_DIM = 5 + len(GATE_KINDS)
+LOOKAHEAD_EXTRA = 6
+DAC22HE_DIM = DAC19_DIM + LOOKAHEAD_EXTRA
+
+
+def stage_features(netlist: Netlist, placement: Placement,
+                   graph: TimingGraph,
+                   lookahead: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Features per net edge, plus the sink-node index of each edge.
+
+    Returns ``(features (E, D), sink_nodes (E,))`` where E is the number of
+    net edges of the netlist and D depends on *lookahead*.
+    """
+    lib = netlist.library
+    wire = lib.wire
+    rows: List[np.ndarray] = []
+    sink_nodes: List[int] = []
+    dim = DAC22HE_DIM if lookahead else DAC19_DIM
+    for net in netlist.nets.values():
+        drv_pin = netlist.pins[net.driver]
+        xd, yd = placement.pin_position(netlist, net.driver)
+        fanout = len(net.sinks)
+        # Driver cell electrical data (zeros for port-driven nets).
+        if drv_pin.cell is not None:
+            ctype = lib.cell(netlist.cells[drv_pin.cell].type_name)
+            drive = ctype.drive / 8.0
+            r_drive = ctype.drive_resistance
+            kind_idx = lib.kind_index(ctype.kind.name)
+            is_port = 0.0
+        else:
+            drive, r_drive, kind_idx, is_port = 0.0, 1.0, -1, 1.0
+        # Total load the driver sees (needed by the look-ahead features).
+        total_cap = 0.0
+        for sp in net.sinks:
+            spin = netlist.pins[sp]
+            if spin.cell is not None:
+                total_cap += lib.cell(
+                    netlist.cells[spin.cell].type_name).input_cap
+            dxs, dys = placement.pin_position(netlist, sp)
+            total_cap += wire.capacitance(abs(xd - dxs) + abs(yd - dys))
+
+        for sp in net.sinks:
+            spin = netlist.pins[sp]
+            xs, ys = placement.pin_position(netlist, sp)
+            dist = abs(xd - xs) + abs(yd - ys)
+            sink_cap = (lib.cell(netlist.cells[spin.cell].type_name).input_cap
+                        if spin.cell is not None else 2.0)
+            feats = np.zeros(dim)
+            feats[0] = dist / 50.0
+            feats[1] = fanout / 10.0
+            feats[2] = drive
+            feats[3] = sink_cap / 5.0
+            feats[4] = is_port
+            if kind_idx >= 0:
+                feats[5 + kind_idx] = 1.0
+            if lookahead:
+                r_wire = wire.resistance(dist)
+                c_wire = wire.capacitance(dist)
+                elmore = r_wire * (0.5 * c_wire + sink_cap)
+                cell_est = r_drive * total_cap
+                base = DAC19_DIM
+                feats[base + 0] = r_wire / 5.0
+                feats[base + 1] = c_wire / 10.0
+                feats[base + 2] = elmore / 20.0
+                feats[base + 3] = total_cap / 20.0
+                feats[base + 4] = cell_est / 100.0
+                feats[base + 5] = (cell_est + elmore) / 100.0
+            rows.append(feats)
+            sink_nodes.append(graph.node_of[sp])
+    return np.asarray(rows), np.asarray(sink_nodes, dtype=np.int64)
+
+
+def stage_labels(netlist: Netlist,
+                 sample: DesignSample) -> Dict[int, float]:
+    """Sign-off stage delay per surviving net edge, keyed by sink node.
+
+    Stage delay = (max surviving cell arc into the driver) + net edge
+    delay.  Edges whose net arc or whose driver cell arcs were replaced are
+    unlabeled (the paper's restructuring gap).
+    """
+    # Max surviving cell-arc delay per driver output pin.
+    cell_delay_at: Dict[int, float] = {}
+    for (ip, op), d in sample.local_cell_delay.items():
+        cell_delay_at[op] = max(cell_delay_at.get(op, 0.0), d)
+
+    labels: Dict[int, float] = {}
+    for (drv, snk), net_d in sample.local_net_delay.items():
+        drv_pin = netlist.pins.get(drv)
+        if drv_pin is None:
+            continue
+        if drv_pin.cell is not None:
+            # Skip stages whose cell arcs were all replaced, except
+            # flip-flop Q drivers (no combinational arc to label).
+            is_ff = netlist.library.cell(
+                netlist.cells[drv_pin.cell].type_name).is_sequential
+            if not is_ff and drv not in cell_delay_at:
+                continue
+            cell_d = cell_delay_at.get(drv, 0.0)
+        else:
+            cell_d = 0.0
+        labels[sample.node_of[snk]] = cell_d + net_d
+    return labels

@@ -1,0 +1,114 @@
+"""Two-stage local-view baselines: DAC'19 [2] and DAC'22-He [3].
+
+Both predict per-stage (cell + net) delays with an MLP over handcrafted
+features and run a PERT traversal for endpoint arrival times.  They differ
+in the feature set: [3] adds look-ahead RC-network features.  Training is
+semi-supervised on *surviving* (unreplaced) stages only, exactly as the
+paper adapts them (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.baselines.pert import endpoint_arrival
+from repro.eval import r2_score
+from repro.ml.sample import DesignSample
+from repro.nn import Adam, mlp, mse_loss
+from repro.utils import require, spawn_rng
+
+
+@dataclass(frozen=True)
+class TwoStageConfig:
+    """Hyper-parameters of a two-stage baseline."""
+
+    lookahead: bool = False      # False → DAC'19, True → DAC'22-He
+    hidden: int = 64
+    epochs: int = 200
+    lr: float = 1e-3
+    batch: int = 4096
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        return "DAC22-he" if self.lookahead else "DAC19"
+
+
+class TwoStageBaseline:
+    """Stage-delay MLP + PERT endpoint evaluation."""
+
+    def __init__(self, config: TwoStageConfig = TwoStageConfig()) -> None:
+        self.config = config
+        self._model = None
+        self._mean = 0.0
+        self._std = 1.0
+
+    def _features(self, sample: DesignSample) -> np.ndarray:
+        return (sample.stage_features_lookahead if self.config.lookahead
+                else sample.stage_features_basic)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_samples: List[DesignSample]) -> None:
+        """Train on surviving stage delays across the training designs."""
+        xs, ys = [], []
+        for s in train_samples:
+            feats = self._features(s)
+            for row, node in enumerate(s.stage_sink_nodes):
+                label = s.stage_label_by_sink.get(int(node))
+                if label is not None:
+                    xs.append(feats[row])
+                    ys.append(label)
+        require(len(ys) > 10, "too few labeled stages to train on")
+        x = np.asarray(xs)
+        y = np.asarray(ys)
+        self._mean = float(y.mean())
+        self._std = float(max(y.std(), 1e-9))
+        yz = (y - self._mean) / self._std
+
+        rng = spawn_rng(f"baseline/{self.config.name}", self.config.seed)
+        self._model = mlp([x.shape[1], self.config.hidden,
+                           self.config.hidden, 1], rng)
+        optimizer = Adam(self._model.parameters(), lr=self.config.lr)
+        n = len(y)
+        for _ in range(self.config.epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.config.batch):
+                idx = order[lo:lo + self.config.batch]
+                pred = self._model.forward(x[idx]).ravel()
+                _, grad = mse_loss(pred, yz[idx])
+                optimizer.zero_grad()
+                self._model.backward(grad[:, None])
+                optimizer.step()
+
+    # ------------------------------------------------------------------
+    def predict_stage_delays(self, sample: DesignSample) -> np.ndarray:
+        """Predicted stage delay per node (indexed by net-sink node)."""
+        require(self._model is not None, "fit() first")
+        feats = self._features(sample)
+        pred = self._model.forward(feats).ravel() * self._std + self._mean
+        by_sink = np.zeros(sample.n_nodes)
+        by_sink[sample.stage_sink_nodes] = pred
+        return by_sink
+
+    def predict_endpoint_arrival(self, sample: DesignSample) -> np.ndarray:
+        """Endpoint arrival via PERT over predicted stages (paper flow)."""
+        return endpoint_arrival(sample, self.predict_stage_delays(sample))
+
+    def local_r2(self, sample: DesignSample) -> float:
+        """R² of stage-delay prediction on surviving stages (Table II left)."""
+        feats = self._features(sample)
+        pred = self._model.forward(feats).ravel() * self._std + self._mean
+        ys, ps = [], []
+        for row, node in enumerate(sample.stage_sink_nodes):
+            label = sample.stage_label_by_sink.get(int(node))
+            if label is not None:
+                ys.append(label)
+                ps.append(pred[row])
+        return r2_score(np.asarray(ys), np.asarray(ps))
+
+    def endpoint_r2(self, sample: DesignSample) -> float:
+        """R² of endpoint arrival prediction (Table II right)."""
+        return r2_score(sample.y, self.predict_endpoint_arrival(sample))

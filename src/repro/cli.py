@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+flow      run the reference flow on a design and print its reports
+report    sign-off timing report (report_timing style)
+dataset   build / refresh the cached dataset
+train     train a predictor and save it
+predict   load a predictor and rank a design's endpoints
+table1/2/3  regenerate a paper table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+DEFAULT_CACHE = Path("data/cache")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Restructure-tolerant timing prediction (DAC'23 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_flow = sub.add_parser("flow", help="run the reference flow")
+    p_flow.add_argument("design")
+    p_flow.add_argument("--no-opt", action="store_true",
+                        help="skip timing optimization")
+    p_flow.add_argument("--scale", type=float, default=None,
+                        help="shrink the preset design (e.g. 0.25)")
+    p_flow.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser("report", help="sign-off timing report")
+    p_rep.add_argument("design")
+    p_rep.add_argument("--paths", type=int, default=3)
+    p_rep.add_argument("--scale", type=float, default=None)
+
+    p_ds = sub.add_parser("dataset", help="build the cached dataset")
+    p_ds.add_argument("--designs", nargs="*", default=None)
+    p_ds.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+    p_ds.add_argument("--seed", type=int, default=0)
+
+    p_tr = sub.add_parser("train", help="train and save a predictor")
+    p_tr.add_argument("--variant", choices=("full", "gnn", "cnn"),
+                      default="full")
+    p_tr.add_argument("--epochs", type=int, default=60)
+    p_tr.add_argument("--augment", type=int, default=0,
+                      help="extra placement seeds per training design")
+    p_tr.add_argument("--out", type=Path, default=Path("data/predictor.pkl"))
+    p_tr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+
+    p_pr = sub.add_parser("predict", help="predict a design's endpoints")
+    p_pr.add_argument("design")
+    p_pr.add_argument("--model", type=Path,
+                      default=Path("data/predictor.pkl"))
+    p_pr.add_argument("--top", type=int, default=10)
+    p_pr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+
+    for table in ("table1", "table2", "table3"):
+        p_t = sub.add_parser(table, help=f"regenerate paper {table}")
+        p_t.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+        if table == "table2":
+            p_t.add_argument("--epochs", type=int, default=120)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+# ----------------------------------------------------------------------
+def cmd_flow(args) -> int:
+    from repro.flow import FlowConfig, run_flow
+    from repro.netlist import compute_stats
+
+    flow = run_flow(args.design, FlowConfig(
+        with_opt=not args.no_opt, scale=args.scale, base_seed=args.seed))
+    stats = compute_stats(flow.input_netlist)
+    print(f"{stats.name}: {stats.n_cells} cells / {stats.n_pins} pins / "
+          f"{stats.n_endpoints} endpoints, clock {flow.clock_period:.0f} ps")
+    if flow.opt_report is not None:
+        rep = flow.opt_report
+        print(f"optimizer: {dict(sorted(rep.moves.items()))}")
+        print(f"replaced: {rep.net_replaced_ratio:.1%} nets, "
+              f"{rep.cell_replaced_ratio:.1%} cells")
+    s = flow.signoff_sta
+    print(f"sign-off: wns {s.wns:.0f} ps, tns {s.tns:.0f} ps")
+    print(f"stage times: "
+          f"{ {k: round(v, 2) for k, v in flow.timer.stages.items()} }")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.flow import FlowConfig, run_flow
+    from repro.timing import report_timing
+
+    flow = run_flow(args.design, FlowConfig(scale=args.scale))
+    print(report_timing(flow.signoff_sta, n_paths=args.paths))
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    from repro.ml import build_dataset
+    from repro.netlist import DESIGN_PRESETS
+
+    designs = args.designs or sorted(DESIGN_PRESETS)
+    samples = build_dataset(designs, cache_dir=args.cache, seed=args.seed)
+    for s in samples:
+        print(f"{s.name:<10} endpoints {s.n_endpoints:>5}  "
+              f"nodes {s.n_nodes:>7}  pre {s.preprocess_time:.2f}s")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+    from repro.flow import FlowConfig
+    from repro.ml import build_dataset
+    from repro.netlist import TRAIN_DESIGNS
+
+    train = build_dataset(list(TRAIN_DESIGNS), cache_dir=args.cache)
+    for seed in range(1, args.augment + 1):
+        train += build_dataset(list(TRAIN_DESIGNS),
+                               flow_config=FlowConfig(base_seed=seed),
+                               cache_dir=args.cache, seed=seed)
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant=args.variant),
+        trainer_config=TrainerConfig(epochs=args.epochs))
+    predictor.fit(train)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    predictor.save(args.out)
+    print(f"trained {args.variant} on {len(train)} samples "
+          f"({args.epochs} epochs) -> {args.out}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.core import TimingPredictor
+    from repro.ml import build_dataset
+
+    predictor = TimingPredictor.load(args.model)
+    sample = build_dataset([args.design], cache_dir=args.cache)[0]
+    by_pin = predictor.predict(sample)
+    print(f"{args.design}: {len(by_pin)} endpoints, inference "
+          f"{predictor.infer_times[args.design] * 1e3:.0f} ms")
+    ranked = sorted(by_pin.items(), key=lambda kv: -kv[1])[:args.top]
+    print(f"{'endpoint pin':>12}  {'predicted arrival (ps)':>22}")
+    for pin, val in ranked:
+        print(f"{pin:>12}  {val:>22.1f}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.eval.experiments import format_table1, run_table1
+    from repro.netlist import DESIGN_PRESETS
+
+    print(format_table1(run_table1(sorted(DESIGN_PRESETS))))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.eval.experiments import format_table2, run_table2
+    from repro.flow import FlowConfig
+    from repro.ml import build_dataset
+    from repro.netlist import TEST_DESIGNS, TRAIN_DESIGNS
+
+    train = build_dataset(list(TRAIN_DESIGNS), cache_dir=args.cache)
+    train += build_dataset(list(TRAIN_DESIGNS),
+                           flow_config=FlowConfig(base_seed=1),
+                           cache_dir=args.cache, seed=1)
+    test = build_dataset(list(TEST_DESIGNS), cache_dir=args.cache)
+    print(format_table2(run_table2(train, test, epochs=args.epochs)))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+    from repro.eval.experiments import format_table3, run_table3
+    from repro.ml import build_dataset
+    from repro.netlist import TEST_DESIGNS, TRAIN_DESIGNS
+
+    train = build_dataset(list(TRAIN_DESIGNS), cache_dir=args.cache)
+    everything = train + build_dataset(list(TEST_DESIGNS),
+                                       cache_dir=args.cache)
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="full"),
+        trainer_config=TrainerConfig(epochs=20))
+    predictor.fit(train)
+    print(format_table3(run_table3(everything, predictor)))
+    return 0
+
+
+COMMANDS = {
+    "flow": cmd_flow,
+    "report": cmd_report,
+    "dataset": cmd_dataset,
+    "train": cmd_train,
+    "predict": cmd_predict,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's contribution: endpoint-embedding multimodal timing predictor."""
+
+from repro.core.cnn import LayoutEncoder
+from repro.core.fusion import VARIANTS, ModelConfig, RestructureTolerantModel
+from repro.core.gnn import EndpointGNN
+from repro.core.masking import (
+    build_endpoint_masks,
+    longest_level_path,
+    path_net_edges,
+    rasterize_region,
+)
+from repro.core.predictor import TimingPredictor
+from repro.core.trainer import LabelNorm, Trainer, TrainerConfig
+
+__all__ = [
+    "LayoutEncoder",
+    "VARIANTS",
+    "ModelConfig",
+    "RestructureTolerantModel",
+    "EndpointGNN",
+    "build_endpoint_masks",
+    "longest_level_path",
+    "path_net_edges",
+    "rasterize_region",
+    "TimingPredictor",
+    "LabelNorm",
+    "Trainer",
+    "TrainerConfig",
+]

@@ -1,0 +1,46 @@
+"""The layout CNN branch (paper Section V-A, Fig. 4).
+
+Consumes the stacked (cell density, RUDY, macro) maps of shape
+``3 × M × N`` and produces the fused global layout information map
+``M^L ∈ R^(M/4 × N/4)`` through convolution + pooling stages.  The paper
+uses M = N = 512; the architecture below is resolution-agnostic (two
+2× poolings) so the CPU-scale default of 64 and the paper value both work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Conv2d, MaxPool2d, Module, ReLU, Sequential
+from repro.utils import require
+
+
+class LayoutEncoder(Module):
+    """3×M×N layout stack → (M/4 · N/4) global layout map, flattened."""
+
+    def __init__(self, rng: np.random.Generator,
+                 channels: int = 8) -> None:
+        self.net = Sequential(
+            Conv2d(3, channels, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(channels, 2 * channels, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(2 * channels, 1, 1, rng=rng),
+        )
+        self._shape = None
+
+    def forward(self, layout_stack: np.ndarray) -> np.ndarray:
+        """(3, M, N) → flattened global map of length (M//4) * (N//4)."""
+        require(layout_stack.ndim == 3 and layout_stack.shape[0] == 3,
+                f"expected (3, M, N), got {layout_stack.shape}")
+        m, n = layout_stack.shape[1:]
+        require(m % 4 == 0 and n % 4 == 0, "map size must be divisible by 4")
+        out = self.net.forward(layout_stack[None])   # (1, 1, M/4, N/4)
+        self._shape = out.shape
+        return out.ravel()
+
+    def backward(self, grad_flat: np.ndarray) -> None:
+        """Backprop a gradient w.r.t. the flattened global map."""
+        self.net.backward(grad_flat.reshape(self._shape))

@@ -1,0 +1,119 @@
+"""The multimodal endpoint-embedding model (paper Fig. 2, Section III).
+
+Per endpoint *e*:
+
+* netlist embedding ``v_n``: the customized GNN's embedding at the
+  endpoint node (Section IV);
+* layout embedding ``v_l``: the CNN's global layout map, masked by the
+  endpoint's critical region (``M^e ⊙ M^L``, Eq. (6)) and passed through a
+  shared fully connected layer (Section V);
+* final embedding: concatenation, consumed by an MLP regressor that
+  predicts the sign-off arrival time, trained with MSE (Eq. (2)).
+
+``variant`` selects the ablations of Table II: ``"full"``, ``"gnn"``
+(netlist-only, paper's "our GNN-only") and ``"cnn"`` (layout-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cnn import LayoutEncoder
+from repro.core.gnn import EndpointGNN
+from repro.ml.features import CELL_FEATURE_DIM, NET_FEATURE_DIM
+from repro.ml.sample import DesignSample
+from repro.nn import Linear, Module, ReLU, Sequential, mlp
+from repro.utils import require, spawn_rng
+
+VARIANTS = ("full", "gnn", "cnn")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters (paper values in Section VI-A; scaled defaults)."""
+
+    variant: str = "full"
+    hidden: int = 64            # GNN embedding width (paper: 128, MLPs 256)
+    layout_embed: int = 64      # layout embedding width (paper: 128)
+    regressor_hidden: int = 128  # regressor MLP width (paper: 512)
+    map_bins: int = 64          # layout map M = N (paper: 512)
+    mlp_layers: int = 3
+    #: Residual identity path in the GNN cell update (see EndpointGNN).
+    gnn_residual: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.variant in VARIANTS,
+                f"variant must be one of {VARIANTS}")
+
+
+class RestructureTolerantModel(Module):
+    """End-to-end endpoint arrival-time predictor."""
+
+    def __init__(self, config: ModelConfig = ModelConfig()) -> None:
+        self.config = config
+        rng = spawn_rng(f"model/{config.variant}", config.seed)
+        map_flat = (config.map_bins // 4) ** 2
+
+        self.gnn: Optional[EndpointGNN] = None
+        self.cnn: Optional[LayoutEncoder] = None
+        self.layout_fc: Optional[Sequential] = None
+        reg_in = 0
+        if config.variant in ("full", "gnn"):
+            self.gnn = EndpointGNN(config.hidden, CELL_FEATURE_DIM,
+                                   NET_FEATURE_DIM, rng,
+                                   n_layers=config.mlp_layers,
+                                   residual=config.gnn_residual)
+            reg_in += config.hidden
+        if config.variant in ("full", "cnn"):
+            self.cnn = LayoutEncoder(rng)
+            self.layout_fc = Sequential(
+                Linear(map_flat, config.layout_embed, rng=rng), ReLU())
+            reg_in += config.layout_embed
+
+        sizes = ([reg_in]
+                 + [config.regressor_hidden] * (config.mlp_layers - 1) + [1])
+        self.regressor = mlp(sizes, rng)
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    def forward(self, sample: DesignSample) -> np.ndarray:
+        """Predict normalized arrival for every endpoint of *sample*."""
+        require(sample.masks.shape[1] == (self.config.map_bins // 4) ** 2
+                or self.cnn is None,
+                "sample mask resolution does not match the model config")
+        parts = []
+        n_endpoints = sample.n_endpoints
+        if self.gnn is not None:
+            h = self.gnn.forward(sample)
+            parts.append(h[sample.endpoint_nodes])
+        masks = None
+        if self.cnn is not None:
+            global_map = self.cnn.forward(sample.layout_stack)
+            masks = sample.masks.astype(float)
+            masked = masks * global_map[None, :]        # (E, P4), Eq. (6)
+            parts.append(self.layout_fc.forward(masked))
+        z = np.concatenate(parts, axis=1)
+        pred = self.regressor.forward(z).ravel()
+        self._cache = (sample, masks)
+        return pred
+
+    def backward(self, grad_pred: np.ndarray) -> None:
+        """Backprop d(loss)/d(pred) of shape (E,)."""
+        sample, masks = self._cache
+        gz = self.regressor.backward(grad_pred[:, None])
+        offset = 0
+        if self.gnn is not None:
+            gn = gz[:, offset:offset + self.config.hidden]
+            offset += self.config.hidden
+            grad_h = np.zeros((sample.n_nodes, self.config.hidden))
+            grad_h[sample.endpoint_nodes] = gn
+            self.gnn.backward(grad_h)
+        if self.cnn is not None:
+            gl = gz[:, offset:]
+            gm = self.layout_fc.backward(gl)            # (E, P4)
+            self.cnn.backward((gm * masks).sum(axis=0))
+        self._cache = None

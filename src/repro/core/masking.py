@@ -1,0 +1,96 @@
+"""Endpoint-wise critical-region masking (paper Section V-B, Fig. 6).
+
+For each timing endpoint we find **the longest path by topological level**
+(not by delay — levels are available before any timing run, which is what
+makes the masking cheap) with a reverse walk that always steps to a
+predecessor one level up, then rasterize the union of the bounding boxes of
+the *net edges* along that path (Eqs. (4)–(5)) into a mask at one quarter of
+the layout-map resolution — the resolution of the CNN's output map
+``M^L`` (Eq. (6) applies the mask via Hadamard product).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.placement import Placement
+from repro.timing import NET_SINK, TimingGraph
+from repro.utils import require, spawn_rng
+
+
+def longest_level_path(graph: TimingGraph, endpoint_node: int,
+                       rng: np.random.Generator) -> List[int]:
+    """Longest path (by level) from the sources into *endpoint_node*.
+
+    Implements the paper's reverse DFS: from a node at level *i*, step to a
+    predecessor at level *i − 1* (one always exists because levels are
+    longest-path depths); ties are broken randomly.  Returns node indices,
+    source first.
+    """
+    path = [endpoint_node]
+    node = endpoint_node
+    while graph.level[node] > 0:
+        preds = graph.predecessors(node)
+        require(len(preds) > 0, "non-source node without predecessors")
+        want = graph.level[node] - 1
+        candidates = preds[graph.level[preds] == want]
+        if len(candidates) == 0:
+            # Defensive: fall back to the deepest predecessor.
+            candidates = preds[graph.level[preds] == graph.level[preds].max()]
+        node = int(candidates[rng.integers(len(candidates))]) \
+            if len(candidates) > 1 else int(candidates[0])
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def path_net_edges(graph: TimingGraph, path: List[int]) -> List[tuple]:
+    """The (driver pin, sink pin) net edges along a node path."""
+    edges = []
+    for u, v in zip(path, path[1:]):
+        if graph.kind[v] == NET_SINK:
+            edges.append((int(graph.pin_ids[u]), int(graph.pin_ids[v])))
+    return edges
+
+
+def rasterize_region(netlist: Netlist, placement: Placement,
+                     net_edges: List[tuple], side_x: int,
+                     side_y: int) -> np.ndarray:
+    """Union of net-edge bounding boxes as a (side_x, side_y) boolean mask."""
+    die = placement.die
+    mask = np.zeros((side_x, side_y), dtype=bool)
+    bw = die.width / side_x
+    bh = die.height / side_y
+    for drv, snk in net_edges:
+        xd, yd = placement.pin_position(netlist, drv)
+        xs, ys = placement.pin_position(netlist, snk)
+        i0 = int(np.clip(min(xd, xs) / bw, 0, side_x - 1))
+        i1 = int(np.clip(max(xd, xs) / bw, 0, side_x - 1))
+        j0 = int(np.clip(min(yd, ys) / bh, 0, side_y - 1))
+        j1 = int(np.clip(max(yd, ys) / bh, 0, side_y - 1))
+        mask[i0:i1 + 1, j0:j1 + 1] = True
+    return mask
+
+
+def build_endpoint_masks(netlist: Netlist, placement: Placement,
+                         graph: TimingGraph, map_bins: int,
+                         seed: int = 0) -> np.ndarray:
+    """Critical-region masks for every endpoint.
+
+    Returns a boolean array of shape ``(E, (map_bins // 4) ** 2)`` — one
+    flattened mask per endpoint, at the resolution of the CNN output map
+    (M/4 × N/4 for an M×N input, Section V-A).
+    """
+    require(map_bins % 4 == 0, "map_bins must be divisible by 4")
+    side = map_bins // 4
+    rng = spawn_rng(f"mask/{netlist.name}", seed)
+    masks = np.zeros((len(graph.endpoints), side * side), dtype=bool)
+    for k, ep in enumerate(graph.endpoints):
+        path = longest_level_path(graph, int(ep), rng)
+        edges = path_net_edges(graph, path)
+        masks[k] = rasterize_region(netlist, placement, edges,
+                                    side, side).ravel()
+    return masks

@@ -1,0 +1,87 @@
+"""High-level predictor API: fit / predict / save / load.
+
+This is the library's front door for the paper's use case: train once on a
+set of completed flows, then evaluate fresh placements in milliseconds
+instead of running optimization + routing + sign-off STA (Table III).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.fusion import ModelConfig, RestructureTolerantModel
+from repro.core.trainer import LabelNorm, Trainer, TrainerConfig
+from repro.flow import FlowResult
+from repro.ml.sample import DesignSample
+from repro.nn import load_state_dict, state_dict
+from repro.utils import require
+
+
+class TimingPredictor:
+    """Restructure-tolerant pre-routing timing predictor."""
+
+    def __init__(self, model_config: ModelConfig = ModelConfig(),
+                 trainer_config: TrainerConfig = TrainerConfig()) -> None:
+        self.model_config = model_config
+        self.model = RestructureTolerantModel(model_config)
+        self.trainer = Trainer(self.model, trainer_config)
+        self.infer_times: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, train_samples: List[DesignSample]) -> None:
+        """Train on prepared samples (see :func:`repro.ml.build_dataset`)."""
+        self.trainer.fit(train_samples)
+
+    def preprocess(self, flow: FlowResult, seed: int = 0) -> DesignSample:
+        """Flow result → sample (timed into ``sample.preprocess_time``)."""
+        # Local import: repro.ml.dataset itself imports repro.core.masking.
+        from repro.ml.dataset import build_sample
+
+        return build_sample(flow, map_bins=self.model_config.map_bins,
+                            seed=seed)
+
+    def predict(self, sample: DesignSample) -> Dict[int, float]:
+        """Sign-off endpoint arrival prediction, keyed by endpoint pin id.
+
+        Inference wall-clock is recorded in ``infer_times[sample.name]``
+        (the "infer" column of Table III).
+        """
+        t0 = time.perf_counter()
+        pred = self.trainer.predict(sample)
+        self.infer_times[sample.name] = time.perf_counter() - t0
+        return {int(p): float(v)
+                for p, v in zip(sample.endpoint_pins, pred)}
+
+    def predict_array(self, sample: DesignSample) -> np.ndarray:
+        """Prediction aligned with ``sample.y`` (evaluation convenience)."""
+        t0 = time.perf_counter()
+        pred = self.trainer.predict(sample)
+        self.infer_times[sample.name] = time.perf_counter() - t0
+        return pred
+
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        """Persist config, weights and label normalization."""
+        require(self.trainer.norm is not None, "fit() before save()")
+        payload = {
+            "model_config": self.model_config,
+            "state": state_dict(self.model),
+            "norm": (self.trainer.norm.mean, self.trainer.norm.std),
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: Path) -> "TimingPredictor":
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        predictor = cls(model_config=payload["model_config"])
+        load_state_dict(predictor.model, payload["state"])
+        mean, std = payload["norm"]
+        predictor.trainer.norm = LabelNorm(mean=mean, std=std)
+        return predictor

@@ -1,0 +1,6 @@
+"""Evaluation utilities: metrics, tables, and experiment runners."""
+
+from repro.eval.metrics import mape, r2_score
+from repro.eval.tables import format_table
+
+__all__ = ["mape", "r2_score", "format_table"]

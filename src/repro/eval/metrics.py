@@ -1,0 +1,33 @@
+"""Evaluation metrics (the paper evaluates with the R² score)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import require
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    1.0 is perfect; 0.0 matches the mean predictor; negative is worse than
+    the mean predictor (the paper's baselines go negative on local delays).
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    require(y_true.shape == y_pred.shape, "shape mismatch")
+    require(y_true.size >= 2, "R² needs at least two samples")
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error (ignores near-zero targets)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    keep = np.abs(y_true) > 1e-9
+    require(keep.any(), "all targets are ~0")
+    return float(np.mean(np.abs((y_pred[keep] - y_true[keep]) / y_true[keep])))

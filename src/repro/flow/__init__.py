@@ -1,0 +1,5 @@
+"""End-to-end reference flow and dataset builder."""
+
+from repro.flow.flow import FlowConfig, FlowResult, run_flow, run_flow_on_spec
+
+__all__ = ["FlowConfig", "FlowResult", "run_flow", "run_flow_on_spec"]

@@ -1,0 +1,154 @@
+"""The reference data-generation flow (Genus/Innovus stand-in).
+
+``run_flow`` reproduces the paper's dataset-generation pipeline on one
+design:
+
+    generate netlist → floorplan → place → legalize
+        → [timing optimization]  (the step the paper is about)
+        → global route → sign-off STA
+
+Run with ``with_opt=False`` to get the "flow without timing optimization"
+column of Table I.  Per-stage wall-clock times are recorded for the runtime
+comparison of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netlist import DESIGN_PRESETS, DesignSpec, Netlist, generate_netlist
+from repro.opt import OptimizerConfig, OptReport, TimingOptimizer
+from repro.placement import (
+    Placement,
+    PlacerConfig,
+    build_die,
+    compute_layout_maps,
+    legalize,
+    place,
+)
+from repro.placement.density import LayoutMaps
+from repro.route import RouterConfig, RoutingResult, route
+from repro.timing import (
+    PreRouteEstimator,
+    STAResult,
+    build_timing_graph,
+    run_sta,
+)
+from repro.utils import StageTimer, require
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """End-to-end flow configuration."""
+
+    base_seed: int = 0
+    with_opt: bool = True
+    scale: Optional[float] = None      # shrink preset designs (fast tests)
+    placer: PlacerConfig = field(default_factory=PlacerConfig)
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    router: RouterConfig = field(default_factory=RouterConfig)
+    map_bins: int = 64                 # layout feature map resolution
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced for one design."""
+
+    spec: DesignSpec
+    clock_period: float
+    # Pre-routing inputs (what the predictor is allowed to see):
+    input_netlist: Netlist
+    input_placement: Placement
+    input_maps: LayoutMaps
+    pre_route_sta: STAResult
+    # Post-optimization implementation (None when with_opt=False):
+    opt_netlist: Netlist
+    opt_placement: Placement
+    opt_report: Optional[OptReport]
+    # Sign-off:
+    routing: RoutingResult
+    signoff_sta: STAResult
+    timer: StageTimer
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def endpoint_labels(self) -> dict:
+        """Sign-off arrival time per endpoint pin of the *input* netlist.
+
+        Endpoints (flip-flop D pins, primary outputs) are never replaced by
+        the optimizer, so their pin ids are shared between the input and the
+        optimized netlists — the anchor the paper's formulation relies on.
+        """
+        endpoints = set(self.input_netlist.endpoint_pins())
+        labels = {pid: arr for pid, arr in
+                  self.signoff_sta.endpoint_arrival.items()
+                  if pid in endpoints}
+        require(len(labels) == len(endpoints),
+                "optimizer must never replace a timing endpoint")
+        return labels
+
+
+def run_flow(design: str, config: FlowConfig = FlowConfig()) -> FlowResult:
+    """Run the full reference flow on a named preset design."""
+    require(design in DESIGN_PRESETS, f"unknown design {design!r}")
+    spec = DESIGN_PRESETS[design]
+    if config.scale is not None:
+        spec = spec.scaled(config.scale)
+    return run_flow_on_spec(spec, config)
+
+
+def run_flow_on_spec(spec: DesignSpec,
+                     config: FlowConfig = FlowConfig()) -> FlowResult:
+    """Run the full reference flow on an explicit :class:`DesignSpec`."""
+    timer = StageTimer()
+
+    netlist = generate_netlist(spec, config.base_seed)
+    die = build_die(netlist, spec, config.base_seed)
+    with timer.stage("place"):
+        placement = place(netlist, die, config.placer)
+        legalize(netlist, placement)
+    input_maps = compute_layout_maps(netlist, placement,
+                                     m=config.map_bins, n=config.map_bins)
+
+    # The clock constraint: a fixed fraction of the unconstrained pre-route
+    # critical delay, so every design starts with real violations to fix.
+    graph = build_timing_graph(netlist)
+    unconstrained = run_sta(graph, PreRouteEstimator(netlist, placement),
+                            clock_period=1.0)
+    clock_period = spec.clock_frac * unconstrained.max_arrival
+    pre_route_sta = run_sta(graph, PreRouteEstimator(netlist, placement),
+                            clock_period)
+
+    # Timing optimization on clones; the pre-routing inputs stay pristine.
+    opt_netlist = netlist.clone()
+    opt_placement = Placement(die=die, cell_xy=dict(placement.cell_xy))
+    opt_report: Optional[OptReport] = None
+    if config.with_opt:
+        with timer.stage("opt"):
+            optimizer = TimingOptimizer(opt_netlist, opt_placement,
+                                        config.optimizer)
+            opt_report = optimizer.run(clock_period)
+
+    with timer.stage("route"):
+        routing = route(opt_netlist, opt_placement, config.router)
+    with timer.stage("sta"):
+        signoff_graph = build_timing_graph(opt_netlist)
+        signoff_sta = run_sta(signoff_graph, routing.lengths, clock_period)
+
+    return FlowResult(
+        spec=spec,
+        clock_period=clock_period,
+        input_netlist=netlist,
+        input_placement=placement,
+        input_maps=input_maps,
+        pre_route_sta=pre_route_sta,
+        opt_netlist=opt_netlist,
+        opt_placement=opt_placement,
+        opt_report=opt_report,
+        routing=routing,
+        signoff_sta=signoff_sta,
+        timer=timer,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic 7-nm-flavoured standard-cell library (ASAP7 stand-in).
+
+Provides characterized cell types with NLDM-style delay/slew lookup tables,
+drive-strength sizing chains, and a wire RC model.  See DESIGN.md for why
+this substitutes for the ASAP7 PDK the paper uses.
+"""
+
+from repro.liberty.cells import (
+    DRIVE_STRENGTHS,
+    GATE_KINDS,
+    KIND_INDEX,
+    CellType,
+    GateKind,
+)
+from repro.liberty.library import CellLibrary, WireModel
+from repro.liberty.tables import LookupTable2D, synthesize_table
+
+__all__ = [
+    "DRIVE_STRENGTHS",
+    "GATE_KINDS",
+    "KIND_INDEX",
+    "CellType",
+    "GateKind",
+    "CellLibrary",
+    "WireModel",
+    "LookupTable2D",
+    "synthesize_table",
+]

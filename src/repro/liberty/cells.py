@@ -1,0 +1,174 @@
+"""Cell kinds and characterized cell types of the synthetic 7-nm library.
+
+The library mimics the structure of the ASAP7 PDK used in the paper: each
+combinational function (gate *kind*) exists in several drive strengths
+(X1/X2/X4/X8); larger drives have lower output resistance but higher input
+capacitance and area.  All timing arcs are characterized into NLDM-style
+lookup tables (:mod:`repro.liberty.tables`).
+
+Units used throughout the package: time **ps**, capacitance **fF**,
+resistance **kΩ** (so ``kΩ × fF = ps``), distance **µm**, area **µm²**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.liberty.tables import (
+    DEFAULT_LOAD_AXIS,
+    DEFAULT_SLEW_AXIS,
+    LookupTable2D,
+    synthesize_table,
+)
+
+
+@dataclass(frozen=True)
+class GateKind:
+    """A logic function available in the library.
+
+    ``effort`` loosely plays the role of logical effort: it scales both the
+    base drive resistance and the intrinsic delay of the kind.
+    """
+
+    name: str
+    n_inputs: int
+    effort: float
+    is_sequential: bool = False
+
+
+#: All gate kinds in the library, in a fixed order.  The order defines the
+#: one-hot "gate type" feature used by the ML models (Section IV-A of the
+#: paper), so it must stay stable.
+GATE_KINDS: Tuple[GateKind, ...] = (
+    GateKind("INV", 1, 1.0),
+    GateKind("BUF", 1, 1.1),
+    GateKind("NAND2", 2, 1.25),
+    GateKind("NOR2", 2, 1.45),
+    GateKind("AND2", 2, 1.5),
+    GateKind("OR2", 2, 1.6),
+    GateKind("XOR2", 2, 2.0),
+    GateKind("XNOR2", 2, 2.0),
+    GateKind("NAND3", 3, 1.6),
+    GateKind("NOR3", 3, 1.9),
+    GateKind("AND3", 3, 1.8),
+    GateKind("OR3", 3, 1.95),
+    GateKind("AOI21", 3, 1.7),
+    GateKind("OAI21", 3, 1.7),
+    GateKind("MUX2", 3, 2.1),
+    GateKind("NAND4", 4, 1.9),
+    GateKind("AND4", 4, 2.1),
+    GateKind("OR4", 4, 2.25),
+    GateKind("DFF", 1, 1.6, is_sequential=True),
+)
+
+KIND_INDEX: Dict[str, int] = {k.name: i for i, k in enumerate(GATE_KINDS)}
+KIND_BY_NAME: Dict[str, GateKind] = {k.name: k for k in GATE_KINDS}
+
+#: Available drive strengths, smallest to largest.
+DRIVE_STRENGTHS: Tuple[int, ...] = (1, 2, 4, 8)
+
+# Base electrical parameters of an X1 inverter in this technology flavour.
+_R_BASE_KOHM = 2.0        # output resistance of an X1 unit-effort driver
+_CIN_BASE_FF = 0.6        # input pin capacitance of an X1 unit-effort gate
+_INTRINSIC_BASE_PS = 3.0  # parasitic (unloaded) delay of a unit-effort gate
+_AREA_BASE_UM2 = 0.45     # area of an X1 inverter
+_SLEW_COEFF = 0.12        # fraction of the input slew added to the delay
+_SLEW_OUT_COEFF = 1.9     # output slew per RC time-constant
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One characterized library cell, e.g. ``NAND2_X4``.
+
+    ``delay_table`` / ``slew_table`` map ``(input slew, output load)`` to the
+    arc delay / output slew at the cell's output pin.
+    """
+
+    name: str
+    kind: GateKind
+    drive: int
+    input_cap: float       # per input pin, fF
+    drive_resistance: float  # effective output resistance, kΩ
+    intrinsic_delay: float   # ps
+    area: float              # µm²
+    delay_table: LookupTable2D = field(repr=False, compare=False, default=None)
+    slew_table: LookupTable2D = field(repr=False, compare=False, default=None)
+    setup_time: float = 0.0  # ps, sequential cells only
+    clk_to_q: float = 0.0    # ps, sequential cells only
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.kind.is_sequential
+
+    @property
+    def n_inputs(self) -> int:
+        return self.kind.n_inputs
+
+    def analytic_delay(self, slew: float, load: float) -> float:
+        """The closed-form delay the NLDM tables were sampled from.
+
+        Exposed for tests: table lookups must agree with this model inside
+        the characterized range.
+        """
+        return (self.intrinsic_delay
+                + self.drive_resistance * load
+                + _SLEW_COEFF * slew)
+
+    def analytic_slew(self, slew: float, load: float) -> float:
+        """Closed-form output slew of the characterization model."""
+        rc = self.drive_resistance * load
+        return self.intrinsic_delay * 0.5 + _SLEW_OUT_COEFF * rc + 0.05 * slew
+
+
+def _characterize(kind: GateKind, drive: int) -> CellType:
+    """Build one fully characterized :class:`CellType`."""
+    r_drive = _R_BASE_KOHM * kind.effort / drive
+    input_cap = _CIN_BASE_FF * kind.effort * (0.6 + 0.4 * drive)
+    intrinsic = _INTRINSIC_BASE_PS * kind.effort * (1.0 + 0.15 * (kind.n_inputs - 1))
+    area = _AREA_BASE_UM2 * kind.effort * drive * (1.0 + 0.3 * (kind.n_inputs - 1))
+    if kind.is_sequential:
+        area *= 3.0
+
+    # Construct a CellType shell first so the analytic model can use its
+    # final parameters, then synthesize the tables from that model.
+    shell = CellType(
+        name=f"{kind.name}_X{drive}",
+        kind=kind,
+        drive=drive,
+        input_cap=input_cap,
+        drive_resistance=r_drive,
+        intrinsic_delay=intrinsic,
+        area=area,
+        setup_time=8.0 if kind.is_sequential else 0.0,
+        clk_to_q=14.0 / np.sqrt(drive) if kind.is_sequential else 0.0,
+    )
+    delay_table = synthesize_table(DEFAULT_SLEW_AXIS, DEFAULT_LOAD_AXIS,
+                                   shell.analytic_delay)
+    slew_table = synthesize_table(DEFAULT_SLEW_AXIS, DEFAULT_LOAD_AXIS,
+                                  shell.analytic_slew)
+    return CellType(
+        name=shell.name,
+        kind=kind,
+        drive=drive,
+        input_cap=input_cap,
+        drive_resistance=r_drive,
+        intrinsic_delay=intrinsic,
+        area=area,
+        delay_table=delay_table,
+        slew_table=slew_table,
+        setup_time=shell.setup_time,
+        clk_to_q=shell.clk_to_q,
+    )
+
+
+def characterize_all() -> Dict[str, CellType]:
+    """Characterize every (kind, drive) combination in the library."""
+    cells: Dict[str, CellType] = {}
+    for kind in GATE_KINDS:
+        for drive in DRIVE_STRENGTHS:
+            cell = _characterize(kind, drive)
+            cells[cell.name] = cell
+    return cells

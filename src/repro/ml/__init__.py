@@ -1,0 +1,20 @@
+"""Shared ML data layer: features, samples, dataset builder."""
+
+from repro.ml.dataset import build_dataset, build_level_plans, build_sample
+from repro.ml.features import (
+    CELL_FEATURE_DIM,
+    NET_FEATURE_DIM,
+    node_features,
+)
+from repro.ml.sample import DesignSample, LevelPlan
+
+__all__ = [
+    "build_dataset",
+    "build_level_plans",
+    "build_sample",
+    "CELL_FEATURE_DIM",
+    "NET_FEATURE_DIM",
+    "node_features",
+    "DesignSample",
+    "LevelPlan",
+]

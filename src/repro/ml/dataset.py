@@ -1,0 +1,218 @@
+"""Dataset builder: flow results → :class:`DesignSample`, with a disk cache.
+
+Building a sample is the model's *preprocessing* stage of Table III: graph
+construction, topological levelization and endpoint-wise critical-region
+generation are timed into ``sample.preprocess_time``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.masking import build_endpoint_masks
+from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.ml.features import node_features
+from repro.ml.sample import DesignSample, LevelPlan
+from repro.netlist import DESIGN_PRESETS
+from repro.timing import CELL_OUT, NET_SINK, build_timing_graph
+from repro.utils import get_logger
+
+logger = get_logger("ml.dataset")
+
+#: Bump when the sample layout changes to invalidate stale caches.
+CACHE_VERSION = 10
+
+
+def build_level_plans(graph) -> List[LevelPlan]:
+    """Per-level execution plans (padded predecessor matrices) for the GNN."""
+    # Group cell edges by destination so we can pad per level.
+    preds_of: Dict[int, List[int]] = {}
+    for s, d in zip(graph.cell_edge_src, graph.cell_edge_dst):
+        preds_of.setdefault(int(d), []).append(int(s))
+    edge_of_sink = {}
+    for s, d in zip(graph.net_edge_src, graph.net_edge_dst):
+        edge_of_sink[int(d)] = int(s)
+
+    plans: List[LevelPlan] = []
+    for lvl in range(1, graph.n_levels):
+        nodes = graph.levels[lvl]
+        net_nodes = nodes[graph.kind[nodes] == NET_SINK]
+        net_drivers = np.array([edge_of_sink[int(v)] for v in net_nodes],
+                               dtype=np.int64)
+        cell_nodes = nodes[graph.kind[nodes] == CELL_OUT]
+        if len(cell_nodes):
+            k = max(len(preds_of[int(v)]) for v in cell_nodes)
+            cell_preds = np.full((len(cell_nodes), k), -1, dtype=np.int64)
+            for r, v in enumerate(cell_nodes):
+                ps = preds_of[int(v)]
+                cell_preds[r, :len(ps)] = ps
+        else:
+            cell_preds = np.zeros((0, 1), dtype=np.int64)
+        plans.append(LevelPlan(net_nodes=net_nodes, net_drivers=net_drivers,
+                               cell_nodes=cell_nodes, cell_preds=cell_preds))
+    return plans
+
+
+def build_sample(flow: FlowResult, map_bins: int = 64,
+                 seed: int = 0) -> DesignSample:
+    """Convert a flow result into a training/inference sample."""
+    nl = flow.input_netlist
+    placement = flow.input_placement
+
+    # --- Timed preprocessing (the "pre" column of Table III): graph
+    # construction, levelization, features, critical-region masks.
+    t0 = time.perf_counter()
+    graph = build_timing_graph(nl)
+    plans = build_level_plans(graph)
+    x_cell, x_net = node_features(nl, placement, graph)
+    masks = build_endpoint_masks(nl, placement, graph, map_bins, seed)
+    preprocess_time = time.perf_counter() - t0
+
+    endpoint_pins = np.array([int(graph.pin_ids[v]) for v in graph.endpoints])
+    labels = flow.endpoint_labels()
+    y = np.array([labels[int(p)] for p in endpoint_pins])
+
+    # --- Baseline bookkeeping: sign-off local delays on SURVIVING edges.
+    report = flow.opt_report
+    replaced_net = report.replaced_net_edges if report else frozenset()
+    replaced_cell = report.replaced_cell_edges if report else frozenset()
+    signoff = flow.signoff_sta
+    local_net = {e: d for e, d in signoff.net_edge_delay.items()
+                 if e not in replaced_net and _edge_in(nl, e)}
+    local_cell = {e: d for e, d in signoff.cell_edge_delay.items()
+                  if e not in replaced_cell and _edge_in(nl, e)}
+    surviving_pins = set(nl.pins) & set(flow.opt_netlist.pins)
+    sg = signoff.graph
+    arrival_by_pin = {int(p): float(signoff.arrival[sg.node_of[p]])
+                      for p in surviving_pins}
+    slew_by_pin = {int(p): float(signoff.slew[sg.node_of[p]])
+                   for p in surviving_pins}
+
+    pre = flow.pre_route_sta
+    sample = DesignSample(
+        name=flow.name,
+        split=DESIGN_PRESETS[flow.name].split if flow.name in DESIGN_PRESETS
+        else "test",
+        clock_period=flow.clock_period,
+        n_nodes=graph.n_nodes,
+        kind=graph.kind,
+        level=graph.level,
+        pin_ids=graph.pin_ids,
+        node_of=graph.node_of,
+        plans=plans,
+        source_nodes=graph.startpoints,
+        x_cell=x_cell,
+        x_net=x_net,
+        endpoint_nodes=graph.endpoints,
+        endpoint_pins=endpoint_pins,
+        y=y,
+        layout_stack=_layout_stack_at(flow, map_bins),
+        masks=masks,
+        pre_route_arrival=pre.arrival.copy(),
+        pre_route_slew=pre.slew.copy(),
+        local_net_delay=local_net,
+        local_cell_delay=local_cell,
+        signoff_arrival_by_pin=arrival_by_pin,
+        signoff_slew_by_pin=slew_by_pin,
+        flow_times=dict(flow.timer.stages),
+        preprocess_time=preprocess_time,
+    )
+    _attach_baseline_data(sample, flow, graph)
+    return sample
+
+
+def _attach_baseline_data(sample: DesignSample, flow: FlowResult,
+                          graph) -> None:
+    """Precompute the local-view baselines' features and labels."""
+    # Import here: repro.baselines imports repro.ml.sample.
+    from repro.baselines.local_features import stage_features, stage_labels
+
+    nl = flow.input_netlist
+    placement = flow.input_placement
+    basic, sink_nodes = stage_features(nl, placement, graph, lookahead=False)
+    lookahead, _ = stage_features(nl, placement, graph, lookahead=True)
+    sample.stage_features_basic = basic
+    sample.stage_features_lookahead = lookahead
+    sample.stage_sink_nodes = sink_nodes
+    sample.stage_label_by_sink = stage_labels(nl, sample)
+
+    # Per-node auxiliary labels (DAC'22-Guo): NaN = replaced/unlabeled.
+    n = sample.n_nodes
+    aux_arrival = np.full(n, np.nan)
+    aux_slew = np.full(n, np.nan)
+    aux_net = np.full(n, np.nan)
+    aux_cell = np.full(n, np.nan)
+    for pid, arr in sample.signoff_arrival_by_pin.items():
+        node = sample.node_of.get(pid)
+        if node is not None:
+            aux_arrival[node] = arr
+            aux_slew[node] = sample.signoff_slew_by_pin[pid]
+    for (drv, snk), d in sample.local_net_delay.items():
+        node = sample.node_of.get(snk)
+        if node is not None:
+            aux_net[node] = d
+    for (ip, op), d in sample.local_cell_delay.items():
+        node = sample.node_of.get(op)
+        if node is not None:
+            aux_cell[node] = max(d, aux_cell[node]) if np.isfinite(
+                aux_cell[node]) else d
+    sample.aux_arrival = aux_arrival
+    sample.aux_slew = aux_slew
+    sample.aux_net_delay = aux_net
+    sample.aux_cell_delay = aux_cell
+
+
+def _layout_stack_at(flow: FlowResult, map_bins: int) -> np.ndarray:
+    """Layout maps at the sample's resolution (recompute on mismatch)."""
+    from repro.placement import compute_layout_maps
+
+    maps = flow.input_maps
+    if maps.shape != (map_bins, map_bins):
+        maps = compute_layout_maps(flow.input_netlist, flow.input_placement,
+                                   m=map_bins, n=map_bins)
+    return maps.stacked()
+
+
+def _edge_in(nl, edge: Tuple[int, int]) -> bool:
+    return edge[0] in nl.pins and edge[1] in nl.pins
+
+
+def build_dataset(designs: List[str],
+                  flow_config: Optional[FlowConfig] = None,
+                  map_bins: int = 64,
+                  cache_dir: Optional[Path] = None,
+                  seed: int = 0) -> List[DesignSample]:
+    """Run the reference flow on each design and build samples.
+
+    Results are cached on disk keyed by (design, seed, scale, version) so
+    benchmarks re-run quickly.
+    """
+    flow_config = flow_config or FlowConfig(base_seed=seed)
+    samples: List[DesignSample] = []
+    for name in designs:
+        sample = None
+        cache_file = None
+        if cache_dir is not None:
+            cache_dir = Path(cache_dir)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            scale = flow_config.scale if flow_config.scale else 1.0
+            cache_file = cache_dir / (
+                f"{name}_s{seed}_x{scale}_b{map_bins}_v{CACHE_VERSION}.pkl")
+            if cache_file.exists():
+                with open(cache_file, "rb") as fh:
+                    sample = pickle.load(fh)
+                logger.info("loaded %s from cache", name)
+        if sample is None:
+            logger.info("running flow for %s", name)
+            flow = run_flow(name, flow_config)
+            sample = build_sample(flow, map_bins=map_bins, seed=seed)
+            if cache_file is not None:
+                with open(cache_file, "wb") as fh:
+                    pickle.dump(sample, fh)
+        samples.append(sample)
+    return samples

@@ -1,0 +1,98 @@
+"""Node features of the pin-level heterograph (paper Section IV-A).
+
+Feature assignment follows the paper: the **net distance** is attached to
+net nodes; **cell driving strength**, **gate type** (one-hot) and **pin
+capacitance** are attached to cell nodes.  Source nodes carry no features
+(the GNN gives them a learned start embedding).
+
+We extend the paper's "pin capacitance" feature to the full electrical
+picture a placement-stage tool can compute from the timing library: the
+cell's input pin capacitance, its fan-out, and the estimated capacitive
+load at the output pin (sink pin caps + estimated wire cap).  Without the
+load term the GNN physically cannot estimate gate delay (delay ≈ R_drive ×
+C_load dominates at 7 nm); these are all pre-routing quantities.
+
+All features are scaled by fixed constants so that they land in O(1) ranges
+regardless of the design (data-independent normalization keeps train/test
+consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.liberty import GATE_KINDS
+from repro.netlist import Netlist
+from repro.placement import Placement
+from repro.timing import CELL_OUT, NET_SINK, TimingGraph
+
+#: Fixed normalization scales (µm, fF, ps, drive units).
+DISTANCE_SCALE = 50.0
+PIN_CAP_SCALE = 5.0
+DRIVE_SCALE = 8.0
+LOAD_SCALE = 20.0
+FANOUT_SCALE = 10.0
+DELAY_SCALE = 50.0
+
+#: x_net: [distance, estimated wire delay, sink pin cap]
+NET_FEATURE_DIM = 3
+#: x_cell: [drive, input cap, fanout, est. load, est. drive delay, one-hot]
+CELL_FEATURE_DIM = 5 + len(GATE_KINDS)
+
+
+def node_features(netlist: Netlist, placement: Placement,
+                  graph: TimingGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute (x_cell, x_net) feature matrices for all nodes.
+
+    ``x_cell[i]`` is nonzero only for CELL_OUT nodes, ``x_net[i]`` only for
+    NET_SINK nodes; the GNN consumes each where appropriate (Eq. (3)).
+    """
+    lib = netlist.library
+    wire = lib.wire
+    n = graph.n_nodes
+    x_cell = np.zeros((n, CELL_FEATURE_DIM))
+    x_net = np.zeros((n, NET_FEATURE_DIM))
+
+    # Estimated output load per net (sink pin caps + star wire cap).
+    net_load = {}
+    for nid, net in netlist.nets.items():
+        xd, yd = placement.pin_position(netlist, net.driver)
+        load = 0.0
+        for sp in net.sinks:
+            spin = netlist.pins[sp]
+            if spin.cell is not None:
+                load += lib.cell(netlist.cells[spin.cell].type_name).input_cap
+            else:
+                load += 2.0  # output pad
+            xs, ys = placement.pin_position(netlist, sp)
+            load += wire.capacitance(abs(xd - xs) + abs(yd - ys))
+        net_load[nid] = load
+
+    for i, pid in enumerate(graph.pin_ids):
+        pin = netlist.pins[int(pid)]
+        if graph.kind[i] == CELL_OUT:
+            ctype = lib.cell(netlist.cells[pin.cell].type_name)
+            load = net_load.get(pin.net, 0.0)
+            x_cell[i, 0] = ctype.drive / DRIVE_SCALE
+            x_cell[i, 1] = ctype.input_cap / PIN_CAP_SCALE
+            x_cell[i, 2] = (len(netlist.nets[pin.net].sinks) / FANOUT_SCALE
+                            if pin.net is not None else 0.0)
+            x_cell[i, 3] = load / LOAD_SCALE
+            x_cell[i, 4] = ctype.drive_resistance * load / DELAY_SCALE
+            x_cell[i, 5 + lib.kind_index(ctype.kind.name)] = 1.0
+        elif graph.kind[i] == NET_SINK:
+            net = netlist.nets[pin.net]
+            xd, yd = placement.pin_position(netlist, net.driver)
+            xs, ys = placement.pin_position(netlist, int(pid))
+            dist = abs(xd - xs) + abs(yd - ys)
+            sink_cap = (lib.cell(
+                netlist.cells[pin.cell].type_name).input_cap
+                if pin.cell is not None else 2.0)
+            wire_delay = wire.resistance(dist) * (
+                0.5 * wire.capacitance(dist) + sink_cap)
+            x_net[i, 0] = dist / DISTANCE_SCALE
+            x_net[i, 1] = wire_delay / DELAY_SCALE
+            x_net[i, 2] = sink_cap / PIN_CAP_SCALE
+    return x_cell, x_net

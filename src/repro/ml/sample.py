@@ -1,0 +1,97 @@
+"""The per-design ML sample: everything models may consume.
+
+A :class:`DesignSample` is built from a :class:`~repro.flow.FlowResult` and
+contains only *pre-routing* inputs (input netlist graph + features, layout
+feature maps, endpoint critical-region masks) plus the sign-off labels and
+the bookkeeping the baselines need (surviving local delays, per-pin sign-off
+quantities).  Everything is plain numpy / dict data so samples pickle
+cleanly into the dataset cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LevelPlan:
+    """Per-topological-level execution plan for the level-wise GNN.
+
+    ``cell_preds`` is a padded predecessor matrix (m, K) of node indices
+    with ``-1`` padding; the GNN max-aggregates over that axis (Eq. (3)).
+    """
+
+    net_nodes: np.ndarray      # net-sink nodes at this level
+    net_drivers: np.ndarray    # their single driver node
+    cell_nodes: np.ndarray     # cell-output nodes at this level
+    cell_preds: np.ndarray     # (len(cell_nodes), K) padded with -1
+
+
+@dataclass
+class DesignSample:
+    """One design, ready for training / inference."""
+
+    name: str
+    split: str
+    clock_period: float
+
+    # --- pin-level heterograph of the INPUT netlist -------------------
+    n_nodes: int
+    kind: np.ndarray                  # SOURCE / NET_SINK / CELL_OUT per node
+    level: np.ndarray
+    pin_ids: np.ndarray               # node -> pin id
+    node_of: Dict[int, int]           # pin id -> node
+    plans: List[LevelPlan]            # levels 1..L (level 0 = sources)
+    source_nodes: np.ndarray
+
+    # --- node features (paper Section IV-A) ---------------------------
+    x_cell: np.ndarray                # (n, Dc): drive, pin cap, gate one-hot
+    x_net: np.ndarray                 # (n, Dn): net distance
+
+    # --- endpoints and labels -----------------------------------------
+    endpoint_nodes: np.ndarray
+    endpoint_pins: np.ndarray
+    y: np.ndarray                     # sign-off endpoint arrival (ps)
+
+    # --- layout branch -------------------------------------------------
+    layout_stack: np.ndarray          # (3, M, N) density / RUDY / macro
+    masks: np.ndarray                 # (E, M//4 * N//4) critical-region masks
+
+    # --- data for baselines ---------------------------------------------
+    pre_route_arrival: np.ndarray     # (n,) pre-routing STA arrival per node
+    pre_route_slew: np.ndarray        # (n,)
+    local_net_delay: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    local_cell_delay: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    signoff_arrival_by_pin: Dict[int, float] = field(default_factory=dict)
+    signoff_slew_by_pin: Dict[int, float] = field(default_factory=dict)
+
+    # --- precomputed baseline inputs ------------------------------------
+    #: Per-net-edge features for the two-stage baselines, aligned with
+    #: ``stage_sink_nodes`` (see repro.baselines.local_features).
+    stage_features_basic: np.ndarray = None      # (E_n, D19)  DAC'19
+    stage_features_lookahead: np.ndarray = None  # (E_n, D22)  DAC'22-He
+    stage_sink_nodes: np.ndarray = None          # (E_n,) sink node per edge
+    stage_label_by_sink: Dict[int, float] = field(default_factory=dict)
+    #: Per-node auxiliary labels for the end-to-end baseline (DAC'22-Guo):
+    #: NaN where optimization replaced the element (semi-supervision).
+    aux_arrival: np.ndarray = None               # (n,)
+    aux_slew: np.ndarray = None                  # (n,)
+    aux_net_delay: np.ndarray = None             # (n,) at net-sink nodes
+    aux_cell_delay: np.ndarray = None            # (n,) at cell-out nodes
+
+    # --- bookkeeping -----------------------------------------------------
+    flow_times: Dict[str, float] = field(default_factory=dict)
+    preprocess_time: float = 0.0
+
+    @property
+    def n_endpoints(self) -> int:
+        return len(self.endpoint_nodes)
+
+    def mask_side(self) -> int:
+        """Side length of the (square) mask grid."""
+        side = int(round(np.sqrt(self.masks.shape[1])))
+        assert side * side == self.masks.shape[1]
+        return side

@@ -1,0 +1,35 @@
+"""Gate-level netlist structures, synthetic generation and Verilog I/O."""
+
+from repro.netlist.netlist import IN, OUT, CellInst, Net, Netlist, Pin, Port
+from repro.netlist.generator import (
+    DESIGN_PRESETS,
+    TEST_DESIGNS,
+    TRAIN_DESIGNS,
+    DesignSpec,
+    MacroSpec,
+    generate_netlist,
+    generate_preset,
+)
+from repro.netlist.stats import NetlistStats, compute_stats
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "IN",
+    "OUT",
+    "CellInst",
+    "Net",
+    "Netlist",
+    "Pin",
+    "Port",
+    "DESIGN_PRESETS",
+    "TEST_DESIGNS",
+    "TRAIN_DESIGNS",
+    "DesignSpec",
+    "MacroSpec",
+    "generate_netlist",
+    "generate_preset",
+    "NetlistStats",
+    "compute_stats",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,50 @@
+"""Netlist statistics — the "Input information" columns of Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Structural counts matching the left half of the paper's Table I."""
+
+    name: str
+    n_pins: int
+    n_endpoints: int       # "#edp"
+    n_net_edges: int       # "#e_n": (driver, sink) pairs
+    n_cell_edges: int      # "#e_c": combinational (input, output) pairs
+    n_cells: int
+    n_nets: int
+    n_regs: int
+    n_ports: int
+    max_fanout: int
+    total_area: float
+
+    def row(self) -> str:
+        """One formatted Table-I-style row."""
+        return (f"{self.name:<10} {self.n_pins:>8} {self.n_endpoints:>7} "
+                f"{self.n_net_edges:>8} {self.n_cell_edges:>8}")
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute structural statistics of a netlist."""
+    n_net_edges = sum(len(net.sinks) for net in netlist.nets.values())
+    n_cell_edges = sum(1 for _ in netlist.cell_edges())
+    max_fanout = max((len(net.sinks) for net in netlist.nets.values()),
+                     default=0)
+    return NetlistStats(
+        name=netlist.name,
+        n_pins=len(netlist.pins),
+        n_endpoints=len(netlist.endpoint_pins()),
+        n_net_edges=n_net_edges,
+        n_cell_edges=n_cell_edges,
+        n_cells=len(netlist.cells),
+        n_nets=len(netlist.nets),
+        n_regs=len(netlist.sequential_cells()),
+        n_ports=len(netlist.ports),
+        max_fanout=max_fanout,
+        total_area=netlist.total_cell_area(),
+    )

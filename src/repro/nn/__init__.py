@@ -1,0 +1,44 @@
+"""Numpy neural-network micro-framework (PyTorch/DGL substitution).
+
+Layers cache inputs on a LIFO stack, so a layer may be applied many times
+(e.g. once per topological level in the GNN) before gradients flow back in
+reverse order.  All backward passes are verified against numerical
+gradients in the test suite.
+"""
+
+from repro.nn.module import (
+    Module,
+    Parameter,
+    Sequential,
+    load_state_dict,
+    state_dict,
+)
+from repro.nn.layers import Flatten, Linear, ReLU, Tanh, mlp
+from repro.nn.conv import Conv2d, MaxPool2d
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.optim import SGD, Adam
+from repro.nn.init import kaiming_uniform, xavier_uniform
+from repro.nn.gradcheck import check_layer_gradients, numerical_grad
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "load_state_dict",
+    "state_dict",
+    "Flatten",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "mlp",
+    "Conv2d",
+    "MaxPool2d",
+    "huber_loss",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "check_layer_gradients",
+    "numerical_grad",
+]

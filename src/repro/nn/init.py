@@ -1,0 +1,20 @@
+"""Deterministic weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """He-uniform init; fan-in is the product of all non-leading dims."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Glorot-uniform init for 2-D weights."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

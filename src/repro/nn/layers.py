@@ -1,0 +1,104 @@
+"""Dense layers and activations with explicit backward passes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils import require
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` for inputs of shape (N, in)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 bias: bool = True) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(kaiming_uniform(rng, (out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._cache: List[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        require(x.ndim == 2 and x.shape[1] == self.weight.shape[1],
+                f"Linear expects (N, {self.weight.shape[1]}), got {x.shape}")
+        self._cache.append(x)
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._cache.pop()
+        self.weight.grad += grad_output.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data
+
+
+class ReLU(Module):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._cache: List[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        self._cache.append(mask)
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = self._cache.pop()
+        return grad_output * mask
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._cache: List[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        self._cache.append(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out = self._cache.pop()
+        return grad_output * (1.0 - out * out)
+
+
+class Flatten(Module):
+    """Flatten all but the leading (batch) dimension."""
+
+    def __init__(self) -> None:
+        self._cache: List[tuple] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache.append(x.shape)
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        shape = self._cache.pop()
+        return grad_output.reshape(shape)
+
+
+def mlp(sizes: List[int], rng: np.random.Generator,
+        activate_last: bool = False) -> "Sequential":
+    """Build an MLP ``Linear → ReLU → … → Linear`` from layer sizes.
+
+    The paper uses 3-layer MLPs throughout (Section VI-A); this helper
+    builds them with shared deterministic initialization.
+    """
+    from repro.nn.module import Sequential
+
+    require(len(sizes) >= 2, "mlp needs at least input and output sizes")
+    layers: List[Module] = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        if i < len(sizes) - 2 or activate_last:
+            layers.append(ReLU())
+    return Sequential(*layers)

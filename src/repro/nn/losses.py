@@ -1,0 +1,34 @@
+"""Loss functions (value + input gradient in one call)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils import require
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error — Eq. (2) of the paper.
+
+    Returns ``(loss, dloss/dpred)``.
+    """
+    require(pred.shape == target.shape,
+            f"shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = pred.size
+    return float((diff * diff).mean()), (2.0 / n) * diff
+
+
+def huber_loss(pred: np.ndarray, target: np.ndarray,
+               delta: float = 1.0) -> Tuple[float, np.ndarray]:
+    """Huber loss (used in robustness ablations)."""
+    require(pred.shape == target.shape,
+            f"shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    absd = np.abs(diff)
+    quad = absd <= delta
+    value = np.where(quad, 0.5 * diff * diff, delta * (absd - 0.5 * delta))
+    grad = np.where(quad, diff, delta * np.sign(diff)) / pred.size
+    return float(value.mean()), grad

@@ -1,0 +1,63 @@
+"""First-order optimizers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils import require_positive
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: List[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        require_positive(lr, "lr")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) — the optimizer the paper trains with."""
+
+    def __init__(self, params: List[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8) -> None:
+        require_positive(lr, "lr")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * p.grad * p.grad
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

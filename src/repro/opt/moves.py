@@ -1,0 +1,294 @@
+"""Primitive optimization moves on a placed netlist.
+
+Two structure-preserved moves (up/downsizing) and three structure-destructed
+moves (buffer insertion, fan-in decomposition, driver cloning) — the
+technique classes of Section II-A of the paper.  Every structural move
+places its new cells on real free sites near the work site via the
+incremental :class:`~repro.placement.legalize.RowGrid`, which is how layout
+availability physically limits what the optimizer can do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.placement import (
+    Placement,
+    RowGrid,
+    find_site_near,
+    reclaim_sites,
+    release_cell_sites,
+)
+from repro.utils import require
+
+#: Internal-node gate kind used when a wide gate is decomposed into a
+#: two-input tree, per root kind.  (Logic equivalence is approximated — the
+#: flow never simulates Boolean values, only timing.)
+DECOMPOSE_TREE_KIND = {
+    "NAND3": ("AND2", "NAND2"),
+    "NAND4": ("AND2", "NAND2"),
+    "NOR3": ("OR2", "NOR2"),
+    "AND3": ("AND2", "AND2"),
+    "AND4": ("AND2", "AND2"),
+    "OR3": ("OR2", "OR2"),
+    "OR4": ("OR2", "OR2"),
+    "AOI21": ("AND2", "NOR2"),
+    "OAI21": ("OR2", "NAND2"),
+    "MUX2": ("AND2", "OR2"),
+}
+
+
+def upsize_cell(netlist: Netlist, cid: int) -> bool:
+    """Swap a cell for the next larger drive.  Returns False at max size."""
+    bigger = netlist.library.upsize(netlist.cell_type(cid))
+    if bigger is None:
+        return False
+    netlist.change_cell_type(cid, bigger.name)
+    return True
+
+
+def downsize_cell(netlist: Netlist, cid: int) -> bool:
+    """Swap a cell for the next smaller drive.  Returns False at min size."""
+    smaller = netlist.library.downsize(netlist.cell_type(cid))
+    if smaller is None:
+        return False
+    netlist.change_cell_type(cid, smaller.name)
+    return True
+
+
+def insert_buffer(netlist: Netlist, placement: Placement, grid: RowGrid,
+                  nid: int, sink_pins: List[int],
+                  buffer_type: str = "BUF_X4") -> Optional[int]:
+    """Drive *sink_pins* of net *nid* through a new buffer.
+
+    The buffer is placed near the centroid of the moved sinks.  Returns the
+    new cell id, or ``None`` when no free site exists near the target
+    (the layout gate).
+    """
+    net = netlist.nets[nid]
+    require(all(sp in net.sinks for sp in sink_pins),
+            "sinks to buffer must belong to the net")
+    require(len(sink_pins) >= 1, "need at least one sink to buffer")
+    pts = placement.pin_positions(netlist, sink_pins)
+    dx, dy = placement.pin_position(netlist, net.driver)
+    # Midpoint between driver and sink centroid: classic buffer location.
+    tx = 0.5 * (dx + pts[:, 0].mean())
+    ty = 0.5 * (dy + pts[:, 1].mean())
+
+    buf = netlist.add_cell(buffer_type)
+    if not find_site_near(netlist, placement, grid, buf.cid, tx, ty,
+                          max_disp=20.0):
+        _remove_unwired_cell(netlist, buf.cid)
+        return None
+    for sp in sink_pins:
+        netlist.disconnect(sp)
+    netlist.connect(nid, buf.input_pins[0])
+    new_net = netlist.create_net(buf.output_pin)
+    for sp in sink_pins:
+        netlist.connect(new_net.nid, sp)
+    return buf.cid
+
+
+def decompose_gate(netlist: Netlist, placement: Placement, grid: RowGrid,
+                   cid: int,
+                   input_order: Optional[List[int]] = None) -> Optional[List[int]]:
+    """Replace a ≥3-input gate with a chain/tree of 2-input gates.
+
+    ``input_order`` lists the cell's input pins from *earliest arriving* to
+    *latest arriving*: early inputs are wired deepest in the new tree so the
+    late (critical) input passes through a single stage — the standard
+    timing-driven decomposition.  Returns the new cell ids, or ``None`` when
+    there is no room (layout gate) or the kind is not decomposable.
+    """
+    inst = netlist.cells[cid]
+    ctype = netlist.cell_type(cid)
+    if ctype.kind.name not in DECOMPOSE_TREE_KIND or ctype.n_inputs < 3:
+        return None
+    inner_kind, root_kind = DECOMPOSE_TREE_KIND[ctype.kind.name]
+    drive = ctype.drive
+    x, y = placement.position(cid)
+    span = release_cell_sites(netlist, placement, grid, cid)
+
+    order = list(input_order) if input_order else list(inst.input_pins)
+    require(sorted(order) == sorted(inst.input_pins),
+            "input_order must be a permutation of the cell's input pins")
+    input_nets = [netlist.pins[ip].net for ip in order]
+    out_net = netlist.pins[inst.output_pin].net
+
+    # Build the replacement chain first (so failure leaves the netlist
+    # untouched): chain = inner(in0, in1); inner(chain, in2); ...;
+    # root(chain, in_last).
+    n_new = ctype.n_inputs - 1
+    new_cells: List[int] = []
+    for k in range(n_new):
+        kind = root_kind if k == n_new - 1 else inner_kind
+        cell = netlist.add_cell(f"{kind}_X{drive}")
+        if not find_site_near(netlist, placement, grid, cell.cid, x, y,
+                              max_disp=8.0):
+            _remove_unwired_cell(netlist, cell.cid)
+            for made in new_cells:
+                _unwire_and_remove(netlist, made)
+                del placement.cell_xy[made]
+            reclaim_sites(grid, span)
+            return None
+        new_cells.append(cell.cid)
+
+    # Detach the old gate.
+    for ip in inst.input_pins:
+        netlist.disconnect(ip)
+    sinks = list(netlist.nets[out_net].sinks) if out_net is not None else []
+    if out_net is not None:
+        netlist.remove_net(out_net)
+    netlist.remove_cell(cid)
+    del placement.cell_xy[cid]
+
+    # Wire the tree.
+    prev_out: Optional[int] = None
+    for k, new_cid in enumerate(new_cells):
+        cell = netlist.cells[new_cid]
+        a, b = cell.input_pins[0], cell.input_pins[1]
+        if k == 0:
+            netlist.connect(input_nets[0], a)
+            netlist.connect(input_nets[1], b)
+        else:
+            netlist.connect(prev_out, a)
+            netlist.connect(input_nets[k + 1], b)
+        prev_out = netlist.create_net(cell.output_pin).nid
+    for sp in sinks:
+        netlist.connect(prev_out, sp)
+    return new_cells
+
+
+def shield_sinks(netlist: Netlist, placement: Placement, grid: RowGrid,
+                 nid: int, keep_pin: int,
+                 buffer_type: str = "BUF_X2") -> Optional[int]:
+    """Move every sink of net *nid* except *keep_pin* behind a buffer.
+
+    This is load decoupling: the driver afterwards sees only the critical
+    sink plus one buffer input, so the critical arc's delay drops by
+    ``R_drive × ΔC`` at zero cost on the critical path itself.  Returns the
+    buffer cell id, or ``None`` when there is no room or nothing to shield.
+    """
+    net = netlist.nets[nid]
+    others = [sp for sp in net.sinks if sp != keep_pin]
+    if len(others) < 2:
+        return None
+    return insert_buffer(netlist, placement, grid, nid, others,
+                         buffer_type=buffer_type)
+
+
+def remap_cell(netlist: Netlist, placement: Placement, grid: RowGrid,
+               cid: int, target_type: Optional[str] = None) -> Optional[int]:
+    """Re-implement a gate as a *fresh instance* (Boolean rewrite stand-in).
+
+    Commercial optimizers frequently rewrite logic in place: the function is
+    preserved but the instance — and with it every pin — is new, so all of
+    the original cell's timing arcs become unlabeled ("replaced" in the
+    paper's Table I sense).  By default the replacement is the next drive
+    strength up.  Returns the new cell id, or ``None`` when the layout has
+    no room.
+    """
+    inst = netlist.cells[cid]
+    ctype = netlist.cell_type(cid)
+    if ctype.is_sequential:
+        return None
+    if target_type is None:
+        bigger = netlist.library.upsize(ctype)
+        target_type = (bigger or ctype).name
+    new_ctype = netlist.library.cell(target_type)
+    require(new_ctype.n_inputs == ctype.n_inputs,
+            "remap target must preserve input count")
+    x, y = placement.position(cid)
+
+    # Free the old instance's sites so the rewrite can stay in place;
+    # reclaim them if no site is found (only possible when the new cell is
+    # wider and the neighbourhood is packed).
+    span = release_cell_sites(netlist, placement, grid, cid)
+    new = netlist.add_cell(target_type)
+    if not find_site_near(netlist, placement, grid, new.cid, x, y,
+                          max_disp=6.0):
+        _remove_unwired_cell(netlist, new.cid)
+        reclaim_sites(grid, span)
+        return None
+    input_nets = [netlist.pins[ip].net for ip in inst.input_pins]
+    out_net = netlist.pins[inst.output_pin].net
+    sinks = list(netlist.nets[out_net].sinks) if out_net is not None else []
+
+    for ip in inst.input_pins:
+        netlist.disconnect(ip)
+    if out_net is not None:
+        netlist.remove_net(out_net)
+    netlist.remove_cell(cid)
+    del placement.cell_xy[cid]
+
+    for net_id, ip_new in zip(input_nets, new.input_pins):
+        netlist.connect(net_id, ip_new)
+    new_net = netlist.create_net(new.output_pin)
+    for sp in sinks:
+        netlist.connect(new_net.nid, sp)
+    return new.cid
+
+
+def clone_driver(netlist: Netlist, placement: Placement, grid: RowGrid,
+                 cid: int) -> Optional[int]:
+    """Duplicate a combinational driver and split its sinks by proximity.
+
+    The clone receives the geometrically farther half of the sinks and is
+    placed at their centroid.  Returns the clone's cell id, or ``None`` when
+    the cell is sequential, has trivial fanout, or no free site exists.
+    """
+    inst = netlist.cells[cid]
+    ctype = netlist.cell_type(cid)
+    if ctype.is_sequential:
+        return None
+    out_net_id = netlist.pins[inst.output_pin].net
+    if out_net_id is None:
+        return None
+    sinks = list(netlist.nets[out_net_id].sinks)
+    if len(sinks) < 4:
+        return None
+
+    x, y = placement.position(cid)
+    pts = placement.pin_positions(netlist, sinks)
+    dist = np.abs(pts[:, 0] - x) + np.abs(pts[:, 1] - y)
+    far = np.argsort(dist)[len(sinks) // 2:]
+    moved = [sinks[i] for i in far]
+    cx, cy = pts[far, 0].mean(), pts[far, 1].mean()
+
+    clone = netlist.add_cell(inst.type_name)
+    if not find_site_near(netlist, placement, grid, clone.cid, cx, cy,
+                          max_disp=20.0):
+        _remove_unwired_cell(netlist, clone.cid)
+        return None
+    # Clone shares all input nets of the original.
+    for ip_orig, ip_clone in zip(inst.input_pins, clone.input_pins):
+        netlist.connect(netlist.pins[ip_orig].net, ip_clone)
+    new_net = netlist.create_net(clone.output_pin)
+    for sp in moved:
+        netlist.disconnect(sp)
+        netlist.connect(new_net.nid, sp)
+    return clone.cid
+
+
+def _remove_unwired_cell(netlist: Netlist, cid: int) -> None:
+    """Remove a freshly created, never-connected cell."""
+    netlist.remove_cell(cid)
+
+
+def _unwire_and_remove(netlist: Netlist, cid: int) -> None:
+    """Disconnect all pins of a cell, drop its output net, remove it."""
+    inst = netlist.cells[cid]
+    for ip in inst.input_pins:
+        if netlist.pins[ip].net is not None:
+            netlist.disconnect(ip)
+    out_net = netlist.pins[inst.output_pin].net
+    if out_net is not None:
+        netlist.remove_net(out_net)
+    netlist.remove_cell(cid)
+
+
+def midpoint(a: Tuple[float, float], b: Tuple[float, float]) -> Tuple[float, float]:
+    return (0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1]))

@@ -1,0 +1,61 @@
+"""Optimization reporting: replaced-edge accounting for Table I.
+
+Pin ids are never reused by :class:`~repro.netlist.Netlist`, so an input
+net/cell edge (a pin-id pair) *survives* optimization iff the identical pair
+is still an edge of the optimized netlist.  Everything else was replaced —
+exactly the paper's "#replaced" notion (edges whose sign-off delay cannot be
+labeled from the input netlist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.netlist import Netlist
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class OptReport:
+    """What one optimizer run did to a design."""
+
+    design: str
+    moves: Dict[str, int] = field(default_factory=dict)
+    wns_trajectory: List[float] = field(default_factory=list)
+    tns_trajectory: List[float] = field(default_factory=list)
+    replaced_net_edges: FrozenSet[Edge] = frozenset()
+    replaced_cell_edges: FrozenSet[Edge] = frozenset()
+    n_input_net_edges: int = 0
+    n_input_cell_edges: int = 0
+
+    def count(self, move: str, n: int = 1) -> None:
+        self.moves[move] = self.moves.get(move, 0) + n
+
+    @property
+    def net_replaced_ratio(self) -> float:
+        """Fraction of input net edges replaced (Table I "#replaced")."""
+        if self.n_input_net_edges == 0:
+            return 0.0
+        return len(self.replaced_net_edges) / self.n_input_net_edges
+
+    @property
+    def cell_replaced_ratio(self) -> float:
+        """Fraction of input cell edges replaced (Table I "#replaced")."""
+        if self.n_input_cell_edges == 0:
+            return 0.0
+        return len(self.replaced_cell_edges) / self.n_input_cell_edges
+
+
+def diff_replaced_edges(original: Netlist, optimized: Netlist,
+                        report: OptReport) -> None:
+    """Fill the replaced-edge sets of *report* by structural diff."""
+    orig_net = set(original.net_edges())
+    orig_cell = set(original.cell_edges())
+    opt_net = set(optimized.net_edges())
+    opt_cell = set(optimized.cell_edges())
+    report.replaced_net_edges = frozenset(orig_net - opt_net)
+    report.replaced_cell_edges = frozenset(orig_cell - opt_cell)
+    report.n_input_net_edges = len(orig_net)
+    report.n_input_cell_edges = len(orig_cell)

@@ -1,0 +1,103 @@
+"""DEF-lite placement interchange (writer + parser).
+
+A minimal subset of the DEF format sufficient to hand placements between
+tools: DESIGN/DIEAREA/COMPONENTS(+PLACED coordinates)/PINS/END.  Distances
+use a DEF database unit of 1000 units per µm.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TextIO
+
+from repro.netlist import Netlist
+from repro.placement.die import Die
+from repro.placement.placer import Placement
+from repro.utils import require
+
+DBU_PER_UM = 1000
+
+
+def write_def(netlist: Netlist, placement: Placement, fh: TextIO) -> None:
+    """Write the placement as DEF-lite."""
+    die = placement.die
+    fh.write("VERSION 5.8 ;\n")
+    fh.write(f"DESIGN {netlist.name} ;\n")
+    fh.write(f"UNITS DISTANCE MICRONS {DBU_PER_UM} ;\n")
+    fh.write(f"DIEAREA ( 0 0 ) ( {_dbu(die.width)} {_dbu(die.height)} ) ;\n")
+
+    fh.write(f"COMPONENTS {len(netlist.cells)} ;\n")
+    for cid in sorted(netlist.cells):
+        inst = netlist.cells[cid]
+        x, y = placement.cell_xy[cid]
+        fh.write(f"- {inst.name} {inst.type_name} + PLACED "
+                 f"( {_dbu(x)} {_dbu(y)} ) N ;\n")
+    fh.write("END COMPONENTS\n")
+
+    ports = sorted(netlist.ports.values(), key=lambda p: p.name)
+    fh.write(f"PINS {len(ports)} ;\n")
+    for port in ports:
+        x, y = die.port_positions[port.pin]
+        direction = "INPUT" if port.direction == "in" else "OUTPUT"
+        fh.write(f"- {port.name} + DIRECTION {direction} + PLACED "
+                 f"( {_dbu(x)} {_dbu(y)} ) N ;\n")
+    fh.write("END PINS\n")
+    fh.write("END DESIGN\n")
+
+
+def read_def(netlist: Netlist, text: str) -> Placement:
+    """Parse DEF-lite back into a :class:`Placement` for *netlist*.
+
+    Component/pin names must match the netlist; unknown names raise.
+    """
+    m = re.search(r"DIEAREA \( 0 0 \) \( (\d+) (\d+) \)", text)
+    require(m is not None, "DEF missing DIEAREA")
+    die = Die(width=int(m.group(1)) / DBU_PER_UM,
+              height=int(m.group(2)) / DBU_PER_UM)
+    placement = Placement(die=die)
+
+    by_name = {inst.name: inst for inst in netlist.cells.values()}
+    comp_re = re.compile(
+        r"- (\S+) (\S+) \+ PLACED \( (-?\d+) (-?\d+) \) \w+ ;")
+    pin_re = re.compile(
+        r"- (\S+) \+ DIRECTION (\w+) \+ PLACED \( (-?\d+) (-?\d+) \) \w+ ;")
+
+    in_components = in_pins = False
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("COMPONENTS"):
+            in_components = True
+            continue
+        if line.startswith("END COMPONENTS"):
+            in_components = False
+            continue
+        if line.startswith("PINS"):
+            in_pins = True
+            continue
+        if line.startswith("END PINS"):
+            in_pins = False
+            continue
+        if in_components and line.startswith("-"):
+            m = comp_re.match(line)
+            require(m is not None, f"bad COMPONENTS line: {line!r}")
+            name, type_name, x, y = m.groups()
+            require(name in by_name, f"unknown component {name!r}")
+            inst = by_name[name]
+            require(inst.type_name == type_name,
+                    f"component {name!r} type mismatch")
+            placement.cell_xy[inst.cid] = (int(x) / DBU_PER_UM,
+                                           int(y) / DBU_PER_UM)
+        elif in_pins and line.startswith("-"):
+            m = pin_re.match(line)
+            require(m is not None, f"bad PINS line: {line!r}")
+            name, _, x, y = m.groups()
+            require(name in netlist.ports, f"unknown pin {name!r}")
+            die.port_positions[netlist.ports[name].pin] = (
+                int(x) / DBU_PER_UM, int(y) / DBU_PER_UM)
+    require(set(placement.cell_xy) == set(netlist.cells),
+            "DEF does not place every component")
+    return placement
+
+
+def _dbu(um: float) -> int:
+    return int(round(um * DBU_PER_UM))

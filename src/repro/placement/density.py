@@ -1,0 +1,108 @@
+"""Layout feature maps: cell density, RUDY and macro region.
+
+These are the three input channels of the paper's CNN branch (Section V-A,
+Fig. 5).  The layout is divided into M×N bins (the paper uses 512×512; we
+default to a configurable, smaller grid for CPU-scale experiments — the
+paper value remains supported).
+
+Map convention: ``map[i, j]`` covers x-bin ``i`` and y-bin ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.placement.placer import Placement
+from repro.utils import require
+
+
+@dataclass(frozen=True)
+class LayoutMaps:
+    """The stacked layout feature maps of one placed design."""
+
+    cell_density: np.ndarray  # (M, N), utilization in [0, ~1]
+    rudy: np.ndarray          # (M, N), wire density estimate
+    macro: np.ndarray         # (M, N), macro coverage fraction in [0, 1]
+    bin_w: float
+    bin_h: float
+
+    @property
+    def shape(self) -> tuple:
+        return self.cell_density.shape
+
+    def stacked(self) -> np.ndarray:
+        """(3, M, N) channel stack fed to the CNN."""
+        return np.stack([self.cell_density, self.rudy, self.macro])
+
+    def free_space(self) -> np.ndarray:
+        """Fraction of each bin usable by the optimizer (Section V-A):
+        high density and macro coverage both remove optimization headroom."""
+        free = (1.0 - np.clip(self.cell_density, 0.0, 1.0)) * (1.0 - self.macro)
+        return np.clip(free, 0.0, 1.0)
+
+
+def _axis_overlap(lo: float, hi: float, n_bins: int,
+                  bin_size: float) -> tuple:
+    """Clipped per-bin overlap lengths of the interval [lo, hi]."""
+    lo = max(0.0, lo)
+    hi = max(lo, hi)
+    b0 = int(np.clip(lo / bin_size, 0, n_bins - 1))
+    b1 = int(np.clip(np.ceil(hi / bin_size) - 1, b0, n_bins - 1))
+    edges = np.arange(b0, b1 + 2) * bin_size
+    overlaps = np.minimum(edges[1:], hi) - np.maximum(edges[:-1], lo)
+    return b0, np.clip(overlaps, 0.0, None)
+
+
+def compute_layout_maps(netlist: Netlist, placement: Placement,
+                        m: int = 64, n: int = 64) -> LayoutMaps:
+    """Compute the three feature maps for a placed netlist."""
+    require(m > 0 and n > 0, "bin counts must be positive")
+    die = placement.die
+    bin_w = die.width / m
+    bin_h = die.height / n
+    bin_area = bin_w * bin_h
+
+    # --- Cell density: each cell's row-height footprint is spread over the
+    # bins it overlaps, so the map stays meaningful even when bins are
+    # smaller than the largest cells.
+    density = np.zeros((m, n))
+    for cid, (x, y) in placement.cell_xy.items():
+        area = netlist.cell_type(cid).area
+        half_w = 0.5 * max(area / 1.0, 1.0)  # width at row height 1 µm
+        i0, wx = _axis_overlap(x - half_w, x + half_w, m, bin_w)
+        j0, wy = _axis_overlap(y - 0.5, y + 0.5, n, bin_h)
+        patch = np.outer(wx, wy)
+        total = patch.sum()
+        if total > 0:
+            density[i0:i0 + len(wx), j0:j0 + len(wy)] += area * patch / total
+    density /= bin_area
+
+    # --- RUDY: per net, spread (w + h) / (w * h) over its bounding box,
+    # weighted by the exact bin-overlap fractions.
+    rudy = np.zeros((m, n))
+    eps = 1e-6
+    for nid, net in netlist.nets.items():
+        pts = placement.pin_positions(netlist, [net.driver] + list(net.sinks))
+        x0, y0 = pts.min(axis=0)
+        x1, y1 = pts.max(axis=0)
+        w = max(x1 - x0, eps)
+        h = max(y1 - y0, eps)
+        wire_density = (w + h) / (w * h)
+        i0, wx = _axis_overlap(x0, x1, m, bin_w)
+        j0, wy = _axis_overlap(y0, y1, n, bin_h)
+        patch = np.outer(wx, wy) / bin_area  # overlap area fraction
+        rudy[i0:i0 + len(wx), j0:j0 + len(wy)] += wire_density * patch
+
+    # --- Macro map: exact coverage fraction per bin.
+    macro = np.zeros((m, n))
+    for rect in die.macros:
+        i0, wx = _axis_overlap(rect.x0, rect.x1, m, bin_w)
+        j0, wy = _axis_overlap(rect.y0, rect.y1, n, bin_h)
+        macro[i0:i0 + len(wx), j0:j0 + len(wy)] += np.outer(wx, wy) / bin_area
+    macro = np.clip(macro, 0.0, 1.0)
+
+    return LayoutMaps(cell_density=density, rudy=rudy, macro=macro,
+                      bin_w=bin_w, bin_h=bin_h)

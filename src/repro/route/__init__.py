@@ -1,0 +1,5 @@
+"""Congestion-aware global router producing sign-off wire lengths."""
+
+from repro.route.router import RouterConfig, RoutingResult, route
+
+__all__ = ["RouterConfig", "RoutingResult", "route"]

@@ -1,0 +1,51 @@
+"""Static timing analysis substrate: pin graph, NLDM, Elmore, PERT sweep."""
+
+from repro.timing.graph import (
+    CELL_OUT,
+    NET_SINK,
+    SOURCE,
+    TimingGraph,
+    build_timing_graph,
+)
+from repro.timing.constraints import TimingConstraints, parse_sdc
+from repro.timing.incremental import IncrementalSTA
+from repro.timing.nldm import BatchNLDM, batch_nldm_for
+from repro.timing.report import (
+    PathReport,
+    PathStep,
+    report_path,
+    report_summary,
+    report_timing,
+)
+from repro.timing.rc import PreRouteEstimator, RoutedLengths, WireLengthProvider
+from repro.timing.sta import (
+    PI_INPUT_SLEW,
+    PO_LOAD_FF,
+    STAResult,
+    run_sta,
+)
+
+__all__ = [
+    "CELL_OUT",
+    "NET_SINK",
+    "SOURCE",
+    "TimingGraph",
+    "build_timing_graph",
+    "TimingConstraints",
+    "parse_sdc",
+    "IncrementalSTA",
+    "BatchNLDM",
+    "batch_nldm_for",
+    "PathReport",
+    "PathStep",
+    "report_path",
+    "report_summary",
+    "report_timing",
+    "PreRouteEstimator",
+    "RoutedLengths",
+    "WireLengthProvider",
+    "PI_INPUT_SLEW",
+    "PO_LOAD_FF",
+    "STAResult",
+    "run_sta",
+]

@@ -1,0 +1,104 @@
+"""SDC-lite timing constraints.
+
+A small subset of Synopsys Design Constraints sufficient for this flow:
+
+    create_clock -period <ps> [-name <name>]
+    set_input_delay <ps> [-port <name>]
+    set_output_delay <ps> [-port <name>]
+
+``parse_sdc`` reads the text form; :class:`TimingConstraints` carries the
+values into STA (clock period, launch offsets at primary inputs, extra
+required-time margin at primary outputs).
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.utils import require, require_positive
+
+
+@dataclass
+class TimingConstraints:
+    """Resolved constraint set for one design."""
+
+    clock_period: float
+    clock_name: str = "clk"
+    #: Extra arrival at primary inputs (port name -> ps; None key = all).
+    input_delays: Dict[Optional[str], float] = field(default_factory=dict)
+    #: Extra required-time margin at primary outputs.
+    output_delays: Dict[Optional[str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive(self.clock_period, "clock_period")
+
+    def input_delay(self, port_name: str) -> float:
+        if port_name in self.input_delays:
+            return self.input_delays[port_name]
+        return self.input_delays.get(None, 0.0)
+
+    def output_delay(self, port_name: str) -> float:
+        if port_name in self.output_delays:
+            return self.output_delays[port_name]
+        return self.output_delays.get(None, 0.0)
+
+    def to_sdc(self) -> str:
+        """Serialize back to SDC text."""
+        lines = [f"create_clock -period {self.clock_period:g} "
+                 f"-name {self.clock_name}"]
+        for port, delay in sorted(self.input_delays.items(),
+                                  key=lambda kv: kv[0] or ""):
+            target = f" -port {port}" if port else ""
+            lines.append(f"set_input_delay {delay:g}{target}")
+        for port, delay in sorted(self.output_delays.items(),
+                                  key=lambda kv: kv[0] or ""):
+            target = f" -port {port}" if port else ""
+            lines.append(f"set_output_delay {delay:g}{target}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_sdc(text: str) -> TimingConstraints:
+    """Parse the SDC-lite subset; raises ``ValueError`` on unknown syntax."""
+    period: Optional[float] = None
+    clock_name = "clk"
+    input_delays: Dict[Optional[str], float] = {}
+    output_delays: Dict[Optional[str], float] = {}
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = shlex.split(line)
+        cmd = tokens[0]
+        if cmd == "create_clock":
+            args = _parse_flags(tokens[1:], {"-period", "-name"})
+            require("-period" in args, "create_clock needs -period")
+            period = float(args["-period"])
+            clock_name = args.get("-name", clock_name)
+        elif cmd in ("set_input_delay", "set_output_delay"):
+            require(len(tokens) >= 2, f"{cmd} needs a delay value")
+            delay = float(tokens[1])
+            args = _parse_flags(tokens[2:], {"-port"})
+            port = args.get("-port")
+            (input_delays if cmd == "set_input_delay"
+             else output_delays)[port] = delay
+        else:
+            raise ValueError(f"unsupported SDC command {cmd!r}")
+    require(period is not None, "SDC must contain create_clock -period")
+    return TimingConstraints(clock_period=period, clock_name=clock_name,
+                             input_delays=input_delays,
+                             output_delays=output_delays)
+
+
+def _parse_flags(tokens, allowed) -> Dict[str, str]:
+    args: Dict[str, str] = {}
+    i = 0
+    while i < len(tokens):
+        flag = tokens[i]
+        require(flag in allowed, f"unsupported SDC flag {flag!r}")
+        require(i + 1 < len(tokens), f"flag {flag!r} needs a value")
+        args[flag] = tokens[i + 1]
+        i += 2
+    return args

@@ -1,0 +1,154 @@
+"""Pin-level timing graph with topological levelization.
+
+This is the data representation of the paper's Section IV-A: every pin is a
+node; **net edges** connect a net's driver pin to each sink pin, **cell
+edges** connect each input pin of a combinational cell to its output pin.
+Cell edges of sequential elements are cut, so the graph is a DAG; its
+topological levels drive both the STA propagation order and the paper's
+GNN message-passing schedule and longest-path masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.utils import require
+
+# Node kinds.
+SOURCE = 0     # startpoints: primary-input pads and flip-flop Q pins
+NET_SINK = 1   # destination of a net edge
+CELL_OUT = 2   # destination of cell edges (combinational output pin)
+
+
+@dataclass
+class TimingGraph:
+    """Array-form DAG over the pins of a netlist.
+
+    Node order is the sorted pin-id order at build time; ``pin_ids[i]`` maps
+    node *i* back to its netlist pin.
+    """
+
+    netlist: Netlist
+    pin_ids: np.ndarray                 # (n,) node -> pin id
+    node_of: Dict[int, int]             # pin id -> node
+    kind: np.ndarray                    # (n,) SOURCE / NET_SINK / CELL_OUT
+    level: np.ndarray                   # (n,) topological level, sources = 0
+    levels: List[np.ndarray]            # nodes grouped by level (ascending)
+    net_edge_src: np.ndarray            # (E_n,) driver node per net edge
+    net_edge_dst: np.ndarray            # (E_n,) sink node per net edge
+    cell_edge_src: np.ndarray           # (E_c,) input node per cell edge
+    cell_edge_dst: np.ndarray           # (E_c,) output node per cell edge
+    # CSR-style predecessor structure over ALL edges (net + cell):
+    pred_ptr: np.ndarray                # (n+1,)
+    pred_idx: np.ndarray                # (sum,) predecessor nodes
+    pred_is_cell: np.ndarray            # (sum,) True where the edge is a cell edge
+    endpoints: np.ndarray = field(default=None)   # endpoint nodes
+    startpoints: np.ndarray = field(default=None)  # source nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.pin_ids)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def predecessors(self, node: int) -> np.ndarray:
+        return self.pred_idx[self.pred_ptr[node]:self.pred_ptr[node + 1]]
+
+
+def build_timing_graph(netlist: Netlist) -> TimingGraph:
+    """Construct the pin-level DAG and its topological levels."""
+    pin_ids = np.array(sorted(netlist.pins), dtype=np.int64)
+    node_of = {int(p): i for i, p in enumerate(pin_ids)}
+    n = len(pin_ids)
+
+    net_src, net_dst = [], []
+    for drv, snk in netlist.net_edges():
+        net_src.append(node_of[drv])
+        net_dst.append(node_of[snk])
+    cell_src, cell_dst = [], []
+    for ip, op in netlist.cell_edges():
+        cell_src.append(node_of[ip])
+        cell_dst.append(node_of[op])
+
+    net_edge_src = np.asarray(net_src, dtype=np.int64)
+    net_edge_dst = np.asarray(net_dst, dtype=np.int64)
+    cell_edge_src = np.asarray(cell_src, dtype=np.int64)
+    cell_edge_dst = np.asarray(cell_dst, dtype=np.int64)
+
+    kind = np.full(n, SOURCE, dtype=np.int8)
+    kind[net_edge_dst] = NET_SINK
+    kind[cell_edge_dst] = CELL_OUT
+
+    # Predecessor CSR over the union of both edge types.
+    all_src = np.concatenate([net_edge_src, cell_edge_src])
+    all_dst = np.concatenate([net_edge_dst, cell_edge_dst])
+    is_cell = np.concatenate([
+        np.zeros(len(net_edge_src), dtype=bool),
+        np.ones(len(cell_edge_src), dtype=bool),
+    ])
+    order = np.argsort(all_dst, kind="stable")
+    sorted_dst = all_dst[order]
+    pred_idx = all_src[order]
+    pred_is_cell = is_cell[order]
+    pred_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(pred_ptr, sorted_dst + 1, 1)
+    pred_ptr = np.cumsum(pred_ptr)
+
+    # Kahn levelization.
+    indegree = np.zeros(n, dtype=np.int64)
+    np.add.at(indegree, all_dst, 1)
+    level = np.zeros(n, dtype=np.int64)
+    frontier = np.where(indegree == 0)[0]
+    levels: List[np.ndarray] = []
+    # Successor CSR for the sweep.
+    sorder = np.argsort(all_src, kind="stable")
+    succ_idx = all_dst[sorder]
+    succ_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(succ_ptr, all_src[sorder] + 1, 1)
+    succ_ptr = np.cumsum(succ_ptr)
+
+    visited = 0
+    cur = frontier
+    lvl = 0
+    indeg = indegree.copy()
+    while len(cur):
+        levels.append(np.sort(cur))
+        level[cur] = lvl
+        visited += len(cur)
+        nxt: List[int] = []
+        for u in cur:
+            for v in succ_idx[succ_ptr[u]:succ_ptr[u + 1]]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    nxt.append(int(v))
+        cur = np.asarray(nxt, dtype=np.int64)
+        lvl += 1
+    require(visited == n, "netlist timing graph contains a cycle")
+
+    endpoints = np.array(sorted(node_of[p] for p in netlist.endpoint_pins()),
+                         dtype=np.int64)
+    startpoints = np.array(sorted(node_of[p] for p in netlist.startpoint_pins()),
+                           dtype=np.int64)
+    return TimingGraph(
+        netlist=netlist,
+        pin_ids=pin_ids,
+        node_of=node_of,
+        kind=kind,
+        level=level,
+        levels=levels,
+        net_edge_src=net_edge_src,
+        net_edge_dst=net_edge_dst,
+        cell_edge_src=cell_edge_src,
+        cell_edge_dst=cell_edge_dst,
+        pred_ptr=pred_ptr,
+        pred_idx=pred_idx,
+        pred_is_cell=pred_is_cell,
+        endpoints=endpoints,
+        startpoints=startpoints,
+    )

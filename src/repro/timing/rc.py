@@ -1,0 +1,52 @@
+"""Wire-length providers for net delay calculation.
+
+STA is parameterized by *where the wire lengths come from*:
+
+* :class:`PreRouteEstimator` — Manhattan pin-to-pin distance from the
+  placement, the information available before routing (this is what both
+  the predictor's features and Elmore's pre-routing STA see);
+* :class:`RoutedLengths` — actual routed segment lengths produced by
+  :mod:`repro.route`, used for sign-off timing (the labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.netlist import Netlist
+from repro.placement import Placement
+
+
+class WireLengthProvider:
+    """Interface: per (driver pin, sink pin) wire length in µm."""
+
+    def length(self, driver_pin: int, sink_pin: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class PreRouteEstimator(WireLengthProvider):
+    """Manhattan-distance wire estimate from placement (pre-routing)."""
+
+    netlist: Netlist
+    placement: Placement
+
+    def length(self, driver_pin: int, sink_pin: int) -> float:
+        xd, yd = self.placement.pin_position(self.netlist, driver_pin)
+        xs, ys = self.placement.pin_position(self.netlist, sink_pin)
+        return abs(xd - xs) + abs(yd - ys)
+
+
+@dataclass
+class RoutedLengths(WireLengthProvider):
+    """Routed wire lengths reported by the global router (sign-off)."""
+
+    lengths: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def length(self, driver_pin: int, sink_pin: int) -> float:
+        return self.lengths[(driver_pin, sink_pin)]
+
+    def set_length(self, driver_pin: int, sink_pin: int,
+                   value: float) -> None:
+        self.lengths[(driver_pin, sink_pin)] = value

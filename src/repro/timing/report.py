@@ -1,0 +1,122 @@
+"""Commercial-style timing reports (``report_timing`` / ``report_wns``).
+
+Formats STA results the way sign-off tools present them: a per-endpoint
+summary table and full path reports with per-arc increments — useful both
+for debugging the substrate and as a familiar interface for EDA users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.timing.graph import NET_SINK
+from repro.timing.sta import STAResult
+from repro.utils import require
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One pin on a timing path."""
+
+    pin_name: str
+    arc: str          # "net" / "cell" / "launch"
+    incr: float       # delay increment, ps
+    arrival: float    # cumulative arrival, ps
+    slew: float       # ps
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """A full worst-path report into one endpoint."""
+
+    endpoint_pin: int
+    endpoint_name: str
+    arrival: float
+    required: float
+    slack: float
+    steps: List[PathStep]
+
+    def format(self) -> str:
+        lines = [
+            f"Endpoint: {self.endpoint_name} (pin {self.endpoint_pin})",
+            f"  arrival {self.arrival:10.1f} ps   required "
+            f"{self.required:10.1f} ps   slack {self.slack:10.1f} ps",
+            f"  {'pin':<28} {'arc':<6} {'incr':>8} {'arrival':>9} "
+            f"{'slew':>7}",
+        ]
+        for s in self.steps:
+            lines.append(f"  {s.pin_name:<28} {s.arc:<6} {s.incr:>8.2f} "
+                         f"{s.arrival:>9.1f} {s.slew:>7.1f}")
+        return "\n".join(lines)
+
+
+def report_path(result: STAResult, endpoint_pin: int) -> PathReport:
+    """Full worst-path report into *endpoint_pin*."""
+    require(endpoint_pin in result.endpoint_arrival,
+            f"pin {endpoint_pin} is not a timing endpoint")
+    graph = result.graph
+    nl = graph.netlist
+    pins = result.critical_path(endpoint_pin)
+    steps: List[PathStep] = []
+    prev_arrival = 0.0
+    for i, pid in enumerate(pins):
+        node = graph.node_of[pid]
+        arrival = float(result.arrival[node])
+        if i == 0:
+            arc = "launch"
+        elif graph.kind[node] == NET_SINK:
+            arc = "net"
+        else:
+            arc = "cell"
+        steps.append(PathStep(
+            pin_name=nl.pins[pid].name,
+            arc=arc,
+            incr=arrival - prev_arrival,
+            arrival=arrival,
+            slew=float(result.slew[node]),
+        ))
+        prev_arrival = arrival
+    setup = 0.0
+    pin = nl.pins[endpoint_pin]
+    if pin.cell is not None:
+        setup = nl.library.cell(nl.cells[pin.cell].type_name).setup_time
+    return PathReport(
+        endpoint_pin=endpoint_pin,
+        endpoint_name=nl.pins[endpoint_pin].name,
+        arrival=result.endpoint_arrival[endpoint_pin],
+        required=result.clock_period - setup,
+        slack=result.endpoint_slack[endpoint_pin],
+        steps=steps,
+    )
+
+
+def report_timing(result: STAResult, n_paths: int = 5,
+                  slack_below: Optional[float] = None) -> str:
+    """Text report of the *n_paths* worst endpoints (like ``report_timing``).
+
+    ``slack_below`` filters to endpoints with slack under the threshold.
+    """
+    order = sorted(result.endpoint_slack,
+                   key=lambda p: result.endpoint_slack[p])
+    if slack_below is not None:
+        order = [p for p in order
+                 if result.endpoint_slack[p] < slack_below]
+    blocks = [report_path(result, pid).format() for pid in order[:n_paths]]
+    header = (f"clock period {result.clock_period:.1f} ps | "
+              f"WNS {result.wns:.1f} ps | TNS {result.tns:.1f} ps | "
+              f"{sum(1 for s in result.endpoint_slack.values() if s < 0)} "
+              f"violating endpoints")
+    return "\n\n".join([header] + blocks)
+
+
+def report_summary(result: STAResult) -> str:
+    """One-line-per-endpoint slack summary, worst first."""
+    nl = result.graph.netlist
+    lines = [f"{'endpoint':<28} {'arrival':>10} {'slack':>10}"]
+    for pid in sorted(result.endpoint_slack,
+                      key=lambda p: result.endpoint_slack[p]):
+        lines.append(f"{nl.pins[pid].name:<28} "
+                     f"{result.endpoint_arrival[pid]:>10.1f} "
+                     f"{result.endpoint_slack[pid]:>10.1f}")
+    return "\n".join(lines)

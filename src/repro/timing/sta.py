@@ -1,0 +1,245 @@
+"""Vectorized static timing analysis (PERT traversal).
+
+Propagates arrival time and slew through the pin-level DAG in topological
+level order — the classic single-pass PERT sweep of [5] in the paper.  Cell
+arcs are evaluated through the batched NLDM tables; net arcs use the Elmore
+model with wire lengths from a pluggable :class:`WireLengthProvider`, so the
+same engine produces both the pre-routing estimate and the sign-off timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netlist import Netlist
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import CELL_OUT, NET_SINK, SOURCE, TimingGraph
+from repro.timing.nldm import batch_nldm_for
+from repro.timing.rc import WireLengthProvider
+from repro.utils import require
+
+#: Electrical boundary conditions.
+PI_INPUT_SLEW = 10.0   # ps, slew at primary inputs
+PO_LOAD_FF = 2.0       # fF, load presented by an output pad
+SLEW_WIRE_FACTOR = 0.7  # slew degradation per ps of wire delay
+
+
+@dataclass
+class STAResult:
+    """Full result of one STA run."""
+
+    graph: TimingGraph
+    clock_period: float
+    arrival: np.ndarray            # (n,) per node, ps
+    slew: np.ndarray               # (n,) per node, ps
+    required: np.ndarray           # (n,) per node required time, ps
+    load: np.ndarray               # (n,) capacitive load seen by OUT pins, fF
+    best_pred: np.ndarray          # (n,) winning predecessor node (-1 = none)
+    endpoint_arrival: Dict[int, float]   # endpoint pin id -> arrival
+    endpoint_slack: Dict[int, float]     # endpoint pin id -> slack
+    net_edge_delay: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    cell_edge_delay: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def node_slack(self) -> np.ndarray:
+        """Per-node slack from the backward required-time sweep."""
+        return self.required - self.arrival
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (ps); positive if all endpoints meet timing."""
+        return min(self.endpoint_slack.values())
+
+    @property
+    def tns(self) -> float:
+        """Total negative slack (ps, ≤ 0)."""
+        return sum(min(0.0, s) for s in self.endpoint_slack.values())
+
+    @property
+    def max_arrival(self) -> float:
+        return max(self.endpoint_arrival.values())
+
+    def critical_path(self, endpoint_pin: int) -> List[int]:
+        """Pins on the worst path into *endpoint_pin*, startpoint first."""
+        g = self.graph
+        node = g.node_of[endpoint_pin]
+        path = [node]
+        while self.best_pred[node] >= 0:
+            node = int(self.best_pred[node])
+            path.append(node)
+        return [int(g.pin_ids[v]) for v in reversed(path)]
+
+
+def run_sta(graph: TimingGraph, wires: WireLengthProvider,
+            clock_period: float,
+            constraints: "TimingConstraints" = None) -> STAResult:
+    """Run a full arrival-time propagation over *graph*.
+
+    ``constraints`` optionally adds SDC-style input/output delays; its
+    clock period, if provided, must agree with *clock_period* (pass
+    ``constraints.clock_period`` explicitly to avoid surprises).
+    """
+    nl = graph.netlist
+    lib = nl.library
+    nldm = batch_nldm_for(lib)
+    n = graph.n_nodes
+
+    # ------------------------------------------------------------------
+    # Static per-node electrical data.
+    # ------------------------------------------------------------------
+    pin_cap = np.zeros(n)
+    out_type_id = np.zeros(n, dtype=np.int64)
+    po_pins = {p.pin for p in nl.primary_outputs()}
+    for i, pid in enumerate(graph.pin_ids):
+        pin = nl.pins[int(pid)]
+        if pin.cell is not None and pin.direction == "in":
+            pin_cap[i] = lib.cell(nl.cells[pin.cell].type_name).input_cap
+        elif int(pid) in po_pins:
+            pin_cap[i] = PO_LOAD_FF
+        if pin.cell is not None and pin.direction == "out":
+            out_type_id[i] = nldm.type_id(nl.cells[pin.cell].type_name)
+
+    # Net-edge wire delays and per-driver total loads (star Elmore).
+    e_src = graph.net_edge_src
+    e_dst = graph.net_edge_dst
+    wire_len = np.empty(len(e_src))
+    for k in range(len(e_src)):
+        wire_len[k] = wires.length(int(graph.pin_ids[e_src[k]]),
+                                   int(graph.pin_ids[e_dst[k]]))
+    w = lib.wire
+    wire_delay = w.resistance(wire_len) * (
+        0.5 * w.capacitance(wire_len) + pin_cap[e_dst])
+
+    # Driver load: all sink pin caps + total wire capacitance of the net.
+    load = np.zeros(n)
+    np.add.at(load, e_src, pin_cap[e_dst] + w.capacitance(wire_len))
+
+    # Map each NET_SINK node to its incoming net edge.
+    edge_of_sink = np.full(n, -1, dtype=np.int64)
+    edge_of_sink[e_dst] = np.arange(len(e_dst))
+
+    # Group cell edges by the level of their output node.
+    c_src = graph.cell_edge_src
+    c_dst = graph.cell_edge_dst
+    cell_edges_at: Dict[int, np.ndarray] = {}
+    if len(c_dst):
+        dst_level = graph.level[c_dst]
+        order = np.argsort(dst_level, kind="stable")
+        bounds = np.searchsorted(dst_level[order],
+                                 np.arange(dst_level.max() + 2))
+        for lvl in range(len(bounds) - 1):
+            chunk = order[bounds[lvl]:bounds[lvl + 1]]
+            if len(chunk):
+                cell_edges_at[lvl] = chunk
+
+    # ------------------------------------------------------------------
+    # Initialize sources.
+    # ------------------------------------------------------------------
+    arrival = np.full(n, -np.inf)
+    slew = np.full(n, PI_INPUT_SLEW)
+    best_pred = np.full(n, -1, dtype=np.int64)
+    for node in graph.startpoints:
+        pid = int(graph.pin_ids[node])
+        pin = nl.pins[pid]
+        if pin.cell is None:
+            arrival[node] = (constraints.input_delay(pin.name)
+                             if constraints is not None else 0.0)
+            slew[node] = PI_INPUT_SLEW
+        else:  # flip-flop Q launch
+            ctype = lib.cell(nl.cells[pin.cell].type_name)
+            arrival[node] = ctype.clk_to_q
+            slew[node] = PI_INPUT_SLEW
+    # Isolated nodes (no preds, not startpoints) still get arrival 0.
+    lonely = (graph.level == 0) & (arrival == -np.inf)
+    arrival[lonely] = 0.0
+
+    cell_delay = np.zeros(len(c_src))
+
+    # ------------------------------------------------------------------
+    # Level-by-level propagation.
+    # ------------------------------------------------------------------
+    for lvl in range(1, graph.n_levels):
+        nodes = graph.levels[lvl]
+        # Net sinks: single incoming net edge.
+        sinks = nodes[graph.kind[nodes] == NET_SINK]
+        if len(sinks):
+            edges = edge_of_sink[sinks]
+            src = e_src[edges]
+            arrival[sinks] = arrival[src] + wire_delay[edges]
+            slew[sinks] = slew[src] + SLEW_WIRE_FACTOR * wire_delay[edges]
+            best_pred[sinks] = src
+
+        # Cell outputs: max over all incoming cell arcs.
+        chunk = cell_edges_at.get(lvl)
+        if chunk is not None:
+            src = c_src[chunk]
+            dst = c_dst[chunk]
+            d, s_out = nldm.lookup(out_type_id[dst], slew[src], load[dst])
+            cell_delay[chunk] = d
+            cand = arrival[src] + d
+            np.maximum.at(arrival, dst, cand)
+            winner = cand >= arrival[dst] - 1e-9
+            slew[dst[winner]] = s_out[winner]
+            best_pred[dst[winner]] = src[winner]
+
+    require(bool(np.all(np.isfinite(arrival))),
+            "arrival propagation left unreachable nodes")
+
+    # ------------------------------------------------------------------
+    # Endpoint slacks and per-edge delay reports.
+    # ------------------------------------------------------------------
+    endpoint_arrival: Dict[int, float] = {}
+    endpoint_slack: Dict[int, float] = {}
+    required = np.full(n, np.inf)
+    for node in graph.endpoints:
+        pid = int(graph.pin_ids[node])
+        pin = nl.pins[pid]
+        setup = 0.0
+        if pin.cell is not None:
+            setup = lib.cell(nl.cells[pin.cell].type_name).setup_time
+        elif constraints is not None:
+            setup = constraints.output_delay(pin.name)
+        endpoint_arrival[pid] = float(arrival[node])
+        endpoint_slack[pid] = float(clock_period - setup - arrival[node])
+        required[node] = clock_period - setup
+
+    # Backward required-time sweep (levels in reverse):
+    # required[src] = min over out-edges (required[dst] - edge delay).
+    for lvl in range(graph.n_levels - 1, 0, -1):
+        nodes = graph.levels[lvl]
+        sinks = nodes[graph.kind[nodes] == NET_SINK]
+        if len(sinks):
+            edges = edge_of_sink[sinks]
+            np.minimum.at(required, e_src[edges],
+                          required[sinks] - wire_delay[edges])
+        chunk = cell_edges_at.get(lvl)
+        if chunk is not None:
+            np.minimum.at(required, c_src[chunk],
+                          required[c_dst[chunk]] - cell_delay[chunk])
+
+    net_edge_delay = {
+        (int(graph.pin_ids[e_src[k]]), int(graph.pin_ids[e_dst[k]])):
+            float(wire_delay[k])
+        for k in range(len(e_src))
+    }
+    cell_edge_delay = {
+        (int(graph.pin_ids[c_src[k]]), int(graph.pin_ids[c_dst[k]])):
+            float(cell_delay[k])
+        for k in range(len(c_src))
+    }
+    return STAResult(
+        graph=graph,
+        clock_period=clock_period,
+        arrival=arrival,
+        slew=slew,
+        required=required,
+        load=load,
+        best_pred=best_pred,
+        endpoint_arrival=endpoint_arrival,
+        endpoint_slack=endpoint_slack,
+        net_edge_delay=net_edge_delay,
+        cell_edge_delay=cell_edge_delay,
+    )

@@ -1,0 +1,16 @@
+"""Shared utilities: seeded RNG helpers, stopwatches, logging, validation."""
+
+from repro.utils.rng import seed_from_name, spawn_rng
+from repro.utils.timer import Stopwatch, StageTimer
+from repro.utils.log import get_logger
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "seed_from_name",
+    "spawn_rng",
+    "Stopwatch",
+    "StageTimer",
+    "get_logger",
+    "require",
+    "require_positive",
+]

@@ -1,0 +1,18 @@
+"""Lightweight logging configuration shared across the package."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a package logger; configures a stream handler once."""
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.setLevel(logging.WARNING)
+    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")

@@ -1,0 +1,28 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the flow (netlist generation, placement,
+optimization, routing noise, model initialization) draws from a
+``numpy.random.Generator`` seeded through these helpers, so the whole
+pipeline is reproducible from a design name and a base seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def seed_from_name(name: str, base_seed: int = 0) -> int:
+    """Derive a stable 63-bit seed from a string name and a base seed.
+
+    Uses sha256 rather than ``hash()`` so results are stable across
+    interpreter runs and machines.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def spawn_rng(name: str, base_seed: int = 0) -> np.random.Generator:
+    """Create an independent, reproducible generator for a named component."""
+    return np.random.default_rng(seed_from_name(name, base_seed))

@@ -1,0 +1,59 @@
+"""Wall-clock stopwatches used for the runtime comparison (Table III)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """A simple cumulative stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw.running():
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+
+    @contextmanager
+    def running(self) -> Iterator["Stopwatch"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.elapsed += time.perf_counter() - start
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named flow stage.
+
+    The reference flow records ``place``, ``opt``, ``route`` and ``sta``
+    stages; the predictor records ``pre`` (preprocessing) and ``infer``.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def total(self) -> float:
+        """Total time across all recorded stages."""
+        return sum(self.stages.values())
+
+    def get(self, name: str) -> float:
+        """Time recorded for one stage (0.0 if the stage never ran)."""
+        return self.stages.get(name, 0.0)

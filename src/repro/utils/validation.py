@@ -1,0 +1,17 @@
+"""Small argument-validation helpers used at public API boundaries."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless *value* is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")

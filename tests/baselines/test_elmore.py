@@ -1,0 +1,21 @@
+"""Tests for the analytical Elmore baseline."""
+
+import numpy as np
+
+from repro.baselines import elmore_endpoint_arrival, elmore_endpoint_r2
+
+
+def test_elmore_prediction_is_pre_route_arrival(tiny_sample):
+    pred = elmore_endpoint_arrival(tiny_sample)
+    np.testing.assert_array_equal(
+        pred, tiny_sample.pre_route_arrival[tiny_sample.endpoint_nodes])
+
+
+def test_elmore_r2_in_valid_range(tiny_sample):
+    r2 = elmore_endpoint_r2(tiny_sample)
+    assert -10 < r2 <= 1.0
+
+
+def test_elmore_correlates_with_signoff(tiny_sample):
+    pred = elmore_endpoint_arrival(tiny_sample)
+    assert np.corrcoef(pred, tiny_sample.y)[0, 1] > 0.5

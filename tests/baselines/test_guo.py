@@ -1,0 +1,47 @@
+"""Tests for the end-to-end GNN baseline (DAC'22-Guo)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AUX_TASKS, GuoBaseline, GuoConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_samples):
+    model = GuoBaseline(GuoConfig(epochs=20, hidden=16, head_hidden=16))
+    model.fit(tiny_samples)
+    return model
+
+
+def test_aux_tasks_cover_paper_supervision():
+    names = {n for n, _ in AUX_TASKS}
+    assert names == {"arrival", "slew", "net_delay", "cell_delay"}
+
+
+def test_endpoint_prediction_shape(fitted, tiny_samples):
+    s = tiny_samples[0]
+    pred = fitted.predict_endpoint_arrival(s)
+    assert pred.shape == s.y.shape
+    assert np.isfinite(pred).all()
+
+
+def test_training_design_correlation(fitted, tiny_samples):
+    s = tiny_samples[0]
+    pred = fitted.predict_endpoint_arrival(s)
+    assert np.corrcoef(pred, s.y)[0, 1] > 0.3
+
+
+def test_local_r2_returns_pair(fitted, tiny_samples):
+    net_r2, cell_r2 = fitted.local_r2(tiny_samples[0])
+    assert -20 < net_r2 <= 1
+    assert -20 < cell_r2 <= 1
+
+
+def test_deterministic(tiny_samples):
+    preds = []
+    for _ in range(2):
+        model = GuoBaseline(GuoConfig(epochs=4, hidden=8, head_hidden=8,
+                                      seed=3))
+        model.fit(tiny_samples)
+        preds.append(model.predict_endpoint_arrival(tiny_samples[0]))
+    np.testing.assert_allclose(preds[0], preds[1])

@@ -1,0 +1,61 @@
+"""Tests for the two-stage baselines (DAC'19 / DAC'22-He)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TwoStageBaseline, TwoStageConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_samples):
+    model = TwoStageBaseline(TwoStageConfig(lookahead=False, epochs=40))
+    model.fit(tiny_samples)
+    return model
+
+
+def test_config_names():
+    assert TwoStageConfig(lookahead=False).name == "DAC19"
+    assert TwoStageConfig(lookahead=True).name == "DAC22-he"
+
+
+def test_predict_requires_fit(tiny_samples):
+    with pytest.raises(ValueError):
+        TwoStageBaseline().predict_stage_delays(tiny_samples[0])
+
+
+def test_stage_delays_on_all_edges(fitted, tiny_samples):
+    s = tiny_samples[0]
+    by_sink = fitted.predict_stage_delays(s)
+    assert by_sink.shape == (s.n_nodes,)
+    # All stage sink nodes carry predictions.
+    assert np.abs(by_sink[s.stage_sink_nodes]).sum() > 0
+
+
+def test_endpoint_prediction_correlates(fitted, tiny_samples):
+    s = tiny_samples[0]  # training design — should fit decently
+    pred = fitted.predict_endpoint_arrival(s)
+    assert pred.shape == s.y.shape
+    assert np.corrcoef(pred, s.y)[0, 1] > 0.5
+
+
+def test_local_r2_on_train_design_positive(fitted, tiny_samples):
+    assert fitted.local_r2(tiny_samples[0]) > 0.2
+
+
+def test_lookahead_features_help_locally(tiny_samples):
+    basic = TwoStageBaseline(TwoStageConfig(lookahead=False, epochs=40))
+    basic.fit(tiny_samples)
+    look = TwoStageBaseline(TwoStageConfig(lookahead=True, epochs=40))
+    look.fit(tiny_samples)
+    s = tiny_samples[0]
+    # Look-ahead RC features should not be worse on the training design.
+    assert look.local_r2(s) >= basic.local_r2(s) - 0.1
+
+
+def test_fit_is_deterministic(tiny_samples):
+    preds = []
+    for _ in range(2):
+        model = TwoStageBaseline(TwoStageConfig(epochs=10, seed=5))
+        model.fit(tiny_samples)
+        preds.append(model.predict_endpoint_arrival(tiny_samples[0]))
+    np.testing.assert_allclose(preds[0], preds[1])

@@ -1,0 +1,105 @@
+"""Shared fixtures: tiny designs and flows so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig, run_flow
+from repro.liberty import CellLibrary
+from repro.ml import build_sample
+from repro.netlist import DESIGN_PRESETS, IN, OUT, Netlist, generate_netlist
+from repro.placement import build_die, legalize, place
+
+
+@pytest.fixture(scope="session")
+def library() -> CellLibrary:
+    return CellLibrary.default()
+
+
+def make_toy_netlist() -> Netlist:
+    """A hand-built 4-gate circuit with one register and one output.
+
+        pi0 ──┐
+              ├─ AND2 g0 ──┐
+        pi1 ──┘            ├─ OR2 g1 ── reg0 D
+        reg0 Q ────────────┘
+        g1 ── po0 (also)
+    """
+    nl = Netlist("toy")
+    pi0 = nl.add_port("pi0", IN)
+    pi1 = nl.add_port("pi1", IN)
+    po0 = nl.add_port("po0", OUT)
+    g0 = nl.add_cell("AND2_X1", "g0")
+    g1 = nl.add_cell("OR2_X2", "g1")
+    reg = nl.add_cell("DFF_X1", "reg0")
+
+    n_pi0 = nl.create_net(pi0.pin)
+    n_pi1 = nl.create_net(pi1.pin)
+    n_q = nl.create_net(reg.output_pin)
+    n_g0 = nl.create_net(g0.output_pin)
+    n_g1 = nl.create_net(g1.output_pin)
+
+    nl.connect(n_pi0.nid, g0.input_pins[0])
+    nl.connect(n_pi1.nid, g0.input_pins[1])
+    nl.connect(n_g0.nid, g1.input_pins[0])
+    nl.connect(n_q.nid, g1.input_pins[1])
+    nl.connect(n_g1.nid, reg.input_pins[0])
+    nl.connect(n_g1.nid, po0.pin)
+    nl.check()
+    return nl
+
+
+@pytest.fixture
+def toy_netlist() -> Netlist:
+    return make_toy_netlist()
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    return DESIGN_PRESETS["xgate"].scaled(0.25)
+
+
+@pytest.fixture(scope="session")
+def tiny_netlist(tiny_spec) -> Netlist:
+    return generate_netlist(tiny_spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_placed(tiny_spec):
+    """(netlist, placement) of a small legalized design."""
+    nl = generate_netlist(tiny_spec)
+    die = build_die(nl, tiny_spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl
+
+
+@pytest.fixture(scope="session")
+def tiny_flow():
+    """A complete flow result on a scaled-down design (with optimization)."""
+    return run_flow("xgate", FlowConfig(scale=0.25))
+
+
+@pytest.fixture(scope="session")
+def tiny_flow_no_opt():
+    return run_flow("xgate", FlowConfig(scale=0.25, with_opt=False))
+
+
+@pytest.fixture(scope="session")
+def tiny_sample(tiny_flow):
+    return build_sample(tiny_flow, map_bins=32)
+
+
+@pytest.fixture(scope="session")
+def tiny_samples():
+    """Two small samples (train-ish and test-ish) for model tests."""
+    s1 = build_sample(run_flow("xgate", FlowConfig(scale=0.25)), map_bins=32)
+    s2 = build_sample(run_flow("steelcore", FlowConfig(scale=0.25)),
+                      map_bins=32)
+    return [s1, s2]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

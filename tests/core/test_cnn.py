@@ -1,0 +1,55 @@
+"""Tests for the layout CNN encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutEncoder
+from repro.utils import spawn_rng
+
+
+def test_output_resolution_is_quarter():
+    rng = spawn_rng("cnn-test")
+    enc = LayoutEncoder(rng)
+    for side in (32, 64):
+        out = enc.forward(np.random.default_rng(0).random((3, side, side)))
+        assert out.shape == ((side // 4) ** 2,)
+        _drain(enc)
+
+
+def test_rejects_wrong_channel_count():
+    enc = LayoutEncoder(spawn_rng("cnn-test"))
+    with pytest.raises(ValueError):
+        enc.forward(np.zeros((2, 32, 32)))
+
+
+def test_rejects_indivisible_size():
+    enc = LayoutEncoder(spawn_rng("cnn-test"))
+    with pytest.raises(ValueError):
+        enc.forward(np.zeros((3, 30, 30)))
+
+
+def test_backward_accumulates_conv_grads():
+    rng = spawn_rng("cnn-test")
+    enc = LayoutEncoder(rng)
+    out = enc.forward(np.random.default_rng(1).random((3, 32, 32)))
+    enc.zero_grad()
+    enc.backward(np.ones_like(out))
+    total = sum(float(np.abs(p.grad).sum()) for p in enc.parameters())
+    assert total > 0
+
+
+def test_forward_depends_on_input():
+    rng = spawn_rng("cnn-test")
+    enc = LayoutEncoder(rng)
+    a = enc.forward(np.zeros((3, 32, 32)))
+    _drain(enc)
+    b = enc.forward(np.ones((3, 32, 32)))
+    _drain(enc)
+    assert not np.allclose(a, b)
+
+
+def _drain(enc):
+    for m in enc.modules():
+        cache = getattr(m, "_cache", None)
+        if isinstance(cache, list):
+            cache.clear()

@@ -1,0 +1,81 @@
+"""Tests for endpoint-wise critical-region masking."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_endpoint_masks,
+    longest_level_path,
+    path_net_edges,
+    rasterize_region,
+)
+from repro.timing import NET_SINK, build_timing_graph
+from repro.utils import spawn_rng
+
+
+def test_longest_path_steps_one_level_at_a_time(tiny_placed):
+    nl, pl = tiny_placed
+    g = build_timing_graph(nl)
+    rng = spawn_rng("test-mask")
+    for ep in g.endpoints[:10]:
+        path = longest_level_path(g, int(ep), rng)
+        assert path[-1] == ep
+        levels = [g.level[v] for v in path]
+        # Source-first, strictly +1 per step: it is a LONGEST path.
+        assert levels[0] == 0
+        assert levels == list(range(len(path)))
+
+
+def test_longest_path_edges_are_real_edges(tiny_placed):
+    nl, pl = tiny_placed
+    g = build_timing_graph(nl)
+    rng = spawn_rng("test-mask")
+    all_edges = set(nl.net_edges())
+    path = longest_level_path(g, int(g.endpoints[0]), rng)
+    for drv, snk in path_net_edges(g, path):
+        assert (drv, snk) in all_edges
+
+
+def test_rasterize_region_covers_bbox(tiny_placed):
+    nl, pl = tiny_placed
+    drv, snk = next(iter(nl.net_edges()))
+    mask = rasterize_region(nl, pl, [(drv, snk)], 8, 8)
+    assert mask.any()
+    # The bins containing both pins are covered.
+    die = pl.die
+    for pid in (drv, snk):
+        x, y = pl.pin_position(nl, pid)
+        i = min(7, int(x / (die.width / 8)))
+        j = min(7, int(y / (die.height / 8)))
+        assert mask[i, j]
+
+
+def test_rasterize_empty_edges_gives_empty_mask(tiny_placed):
+    nl, pl = tiny_placed
+    mask = rasterize_region(nl, pl, [], 8, 8)
+    assert not mask.any()
+
+
+def test_build_endpoint_masks_shape_and_nonempty(tiny_placed):
+    nl, pl = tiny_placed
+    g = build_timing_graph(nl)
+    masks = build_endpoint_masks(nl, pl, g, map_bins=32)
+    assert masks.shape == (len(g.endpoints), 64)
+    assert masks.dtype == bool
+    # Every endpoint with a nontrivial cone covers at least one bin.
+    assert (masks.sum(axis=1) > 0).all()
+
+
+def test_masks_deterministic(tiny_placed):
+    nl, pl = tiny_placed
+    g = build_timing_graph(nl)
+    a = build_endpoint_masks(nl, pl, g, map_bins=32, seed=3)
+    b = build_endpoint_masks(nl, pl, g, map_bins=32, seed=3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_map_bins_must_divide_by_four(tiny_placed):
+    nl, pl = tiny_placed
+    g = build_timing_graph(nl)
+    with pytest.raises(ValueError):
+        build_endpoint_masks(nl, pl, g, map_bins=30)

@@ -1,0 +1,84 @@
+"""Tests for training and the predictor API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LabelNorm,
+    ModelConfig,
+    RestructureTolerantModel,
+    TimingPredictor,
+    Trainer,
+    TrainerConfig,
+)
+from repro.eval import r2_score
+
+
+SMALL = dict(hidden=16, layout_embed=16, regressor_hidden=32, map_bins=32)
+
+
+def test_label_norm_roundtrip(tiny_samples):
+    norm = LabelNorm.fit(tiny_samples)
+    s = tiny_samples[0]
+    z = norm.normalize(s.y, s.clock_period)
+    back = norm.denormalize(z, s.clock_period)
+    np.testing.assert_allclose(back, s.y)
+
+
+def test_training_reduces_loss(tiny_samples):
+    model = RestructureTolerantModel(ModelConfig(variant="full", **SMALL))
+    trainer = Trainer(model, TrainerConfig(epochs=25))
+    trainer.fit(tiny_samples)
+    assert trainer.history[-1] < 0.5 * trainer.history[0]
+
+
+def test_training_fits_train_set(tiny_samples):
+    model = RestructureTolerantModel(ModelConfig(variant="full", **SMALL))
+    trainer = Trainer(model, TrainerConfig(epochs=60))
+    trainer.fit(tiny_samples)
+    for s in tiny_samples:
+        pred = trainer.predict(s)
+        assert r2_score(s.y, pred) > 0.6
+
+
+def test_predict_before_fit_raises(tiny_samples):
+    model = RestructureTolerantModel(ModelConfig(variant="gnn", **SMALL))
+    trainer = Trainer(model)
+    with pytest.raises(ValueError):
+        trainer.predict(tiny_samples[0])
+
+
+def test_predictor_fit_predict_save_load(tiny_samples, tmp_path):
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="full", **SMALL),
+        trainer_config=TrainerConfig(epochs=15))
+    predictor.fit(tiny_samples)
+    s = tiny_samples[0]
+    by_pin = predictor.predict(s)
+    assert set(by_pin) == set(int(p) for p in s.endpoint_pins)
+    assert predictor.infer_times[s.name] > 0
+
+    path = tmp_path / "model.pkl"
+    predictor.save(path)
+    loaded = TimingPredictor.load(path)
+    again = loaded.predict(s)
+    for pin, val in by_pin.items():
+        assert again[pin] == pytest.approx(val)
+
+
+def test_save_before_fit_raises(tmp_path):
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="gnn", **SMALL))
+    with pytest.raises(ValueError):
+        predictor.save(tmp_path / "m.pkl")
+
+
+def test_training_is_deterministic(tiny_samples):
+    preds = []
+    for _ in range(2):
+        model = RestructureTolerantModel(
+            ModelConfig(variant="gnn", seed=7, **SMALL))
+        trainer = Trainer(model, TrainerConfig(epochs=5, seed=7))
+        trainer.fit(tiny_samples)
+        preds.append(trainer.predict(tiny_samples[0]))
+    np.testing.assert_allclose(preds[0], preds[1])

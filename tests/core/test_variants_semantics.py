@@ -1,0 +1,50 @@
+"""Semantics of the model variants used in Table II's ablation columns."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, RestructureTolerantModel
+
+SMALL = dict(hidden=8, layout_embed=8, regressor_hidden=16, map_bins=32)
+
+
+def _params_count(model):
+    return sum(p.data.size for p in model.parameters())
+
+
+def test_full_has_both_branches():
+    m = RestructureTolerantModel(ModelConfig(variant="full", **SMALL))
+    assert m.gnn is not None and m.cnn is not None
+
+
+def test_gnn_only_has_no_cnn():
+    m = RestructureTolerantModel(ModelConfig(variant="gnn", **SMALL))
+    assert m.gnn is not None and m.cnn is None and m.layout_fc is None
+
+
+def test_cnn_only_has_no_gnn():
+    m = RestructureTolerantModel(ModelConfig(variant="cnn", **SMALL))
+    assert m.gnn is None and m.cnn is not None
+
+
+def test_full_model_is_union_of_parts():
+    full = _params_count(
+        RestructureTolerantModel(ModelConfig(variant="full", **SMALL)))
+    gnn = _params_count(
+        RestructureTolerantModel(ModelConfig(variant="gnn", **SMALL)))
+    cnn = _params_count(
+        RestructureTolerantModel(ModelConfig(variant="cnn", **SMALL)))
+    # The regressor's first layer differs in width; everything else is the
+    # union, so full < gnn + cnn but > max(gnn, cnn).
+    assert max(gnn, cnn) < full < gnn + cnn
+
+
+def test_seed_controls_initialization():
+    a = RestructureTolerantModel(ModelConfig(variant="gnn", seed=1, **SMALL))
+    b = RestructureTolerantModel(ModelConfig(variant="gnn", seed=1, **SMALL))
+    c = RestructureTolerantModel(ModelConfig(variant="gnn", seed=2, **SMALL))
+    pa = np.concatenate([p.data.ravel() for p in a.parameters()])
+    pb = np.concatenate([p.data.ravel() for p in b.parameters()])
+    pc = np.concatenate([p.data.ravel() for p in c.parameters()])
+    np.testing.assert_array_equal(pa, pb)
+    assert not np.array_equal(pa, pc)

@@ -1,0 +1,58 @@
+"""Tests for the experiment runners (fast, scaled-down versions)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    Table1Row,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.flow import FlowConfig
+
+
+def test_run_table1_scaled():
+    rows = run_table1(["xgate"], FlowConfig(scale=0.25))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.design == "xgate"
+    assert row.n_pins > 0
+    assert 0 <= row.net_replaced < 1
+    assert row.d_tns >= 0
+    text = format_table1(rows)
+    assert "xgate" in text and "Δtns" in text
+
+
+def test_run_table2_scaled(tiny_samples):
+    result = run_table2(tiny_samples, tiny_samples, epochs=4,
+                        baseline_epochs=4)
+    for name in tiny_samples[0].name, tiny_samples[1].name:
+        assert set(result.endpoint_r2[name]) == {
+            "DAC19", "DAC22-he", "DAC22-guo", "our CNN-only",
+            "our GNN-only", "our full"}
+    avg = result.averages()
+    assert all(np.isfinite(v) for v in avg.values())
+    text = format_table2(result)
+    assert "DAC22-guo" in text and "avg" in text
+
+
+def test_run_table3(tiny_samples):
+    from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="gnn", hidden=8,
+                                 regressor_hidden=16, map_bins=32),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit(tiny_samples)
+    rows = run_table3(tiny_samples, predictor)
+    assert len(rows) == 2
+    for r in rows:
+        assert r.model_total_s > 0
+        assert r.flow_total_s > 0
+        assert r.speedup == pytest.approx(
+            r.flow_total_s / r.model_total_s)
+    text = format_table3(rows)
+    assert "speedup" in text

@@ -1,0 +1,77 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval import format_table, mape, r2_score
+
+
+def test_r2_perfect():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == 1.0
+
+
+def test_r2_mean_predictor_is_zero():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+def test_r2_worse_than_mean_is_negative():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, np.array([3.0, 2.0, 1.0])) < 0
+
+
+def test_r2_constant_target():
+    assert r2_score(np.ones(3), np.ones(3)) == 1.0
+    assert r2_score(np.ones(3), np.zeros(3)) == 0.0
+
+
+def test_r2_rejects_tiny_input():
+    with pytest.raises(ValueError):
+        r2_score(np.array([1.0]), np.array([1.0]))
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=3,
+                max_size=30))
+def test_r2_never_exceeds_one(values):
+    y = np.asarray(values)
+    pred = y + 1.0
+    assert r2_score(y, pred) <= 1.0 + 1e-12
+
+
+@given(st.lists(st.floats(min_value=-50, max_value=50), min_size=3,
+                max_size=20),
+       st.floats(min_value=0.1, max_value=10),
+       st.floats(min_value=-5, max_value=5))
+def test_r2_invariant_under_target_affine_transform(values, a, b):
+    """R² of (a·y+b, a·p+b) equals R² of (y, p)."""
+    from hypothesis import assume
+
+    y = np.asarray(values)
+    assume(y.std() > 1e-3)  # near-constant targets are numerically unstable
+    p = y + np.sin(y)
+    r1 = r2_score(y, p)
+    r2 = r2_score(a * y + b, a * p + b)
+    assert r1 == pytest.approx(r2, rel=1e-4, abs=1e-7)
+
+
+def test_mape_basic():
+    y = np.array([10.0, 20.0])
+    p = np.array([11.0, 18.0])
+    assert mape(y, p) == pytest.approx((0.1 + 0.1) / 2)
+
+
+def test_mape_ignores_zero_targets():
+    y = np.array([0.0, 10.0])
+    p = np.array([5.0, 11.0])
+    assert mape(y, p) == pytest.approx(0.1)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.0]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "2.5000" in out
+    assert "xyz" in out

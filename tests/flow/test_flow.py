@@ -1,0 +1,58 @@
+"""Tests for the end-to-end reference flow."""
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig, run_flow
+
+
+def test_flow_produces_all_artifacts(tiny_flow):
+    f = tiny_flow
+    assert f.clock_period > 0
+    assert len(f.input_netlist.cells) > 0
+    assert f.opt_report is not None
+    assert f.signoff_sta.wns is not None
+    assert f.routing.total_wirelength > 0
+    for stage in ("place", "opt", "route", "sta"):
+        assert f.timer.get(stage) > 0
+
+
+def test_endpoint_labels_cover_all_endpoints(tiny_flow):
+    labels = tiny_flow.endpoint_labels()
+    assert set(labels) == set(tiny_flow.input_netlist.endpoint_pins())
+    assert all(v > 0 for v in labels.values())
+
+
+def test_flow_without_opt_skips_optimizer(tiny_flow_no_opt):
+    f = tiny_flow_no_opt
+    assert f.opt_report is None
+    assert f.timer.get("opt") == 0.0
+    # Without optimization the netlist is structurally unchanged.
+    assert len(f.opt_netlist.cells) == len(f.input_netlist.cells)
+
+
+def test_optimization_improves_signoff(tiny_flow, tiny_flow_no_opt):
+    assert tiny_flow.signoff_sta.tns > tiny_flow_no_opt.signoff_sta.tns
+
+
+def test_clock_period_below_unoptimized_arrival(tiny_flow):
+    assert tiny_flow.clock_period < tiny_flow.pre_route_sta.max_arrival
+
+
+def test_flow_is_deterministic():
+    a = run_flow("xgate", FlowConfig(scale=0.2))
+    b = run_flow("xgate", FlowConfig(scale=0.2))
+    assert a.endpoint_labels() == b.endpoint_labels()
+    assert a.clock_period == b.clock_period
+
+
+def test_flow_unknown_design():
+    with pytest.raises(ValueError):
+        run_flow("bogus")
+
+
+def test_input_side_is_preoptimization(tiny_flow):
+    f = tiny_flow
+    # The optimizer added cells; the input netlist must not see them.
+    assert len(f.opt_netlist.cells) != len(f.input_netlist.cells)
+    f.input_netlist.check()

@@ -1,0 +1,40 @@
+"""Tests for flow configuration plumbing."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.flow import FlowConfig, run_flow
+from repro.opt import OptimizerConfig
+from repro.route import RouterConfig
+
+
+def test_flow_config_defaults():
+    cfg = FlowConfig()
+    assert cfg.with_opt
+    assert cfg.scale is None
+    assert cfg.map_bins == 64
+
+
+def test_optimizer_config_reaches_optimizer():
+    weak = FlowConfig(scale=0.25,
+                      optimizer=OptimizerConfig(max_passes=1,
+                                                endpoints_per_pass=5,
+                                                rewrite_rate=0.0))
+    strong = FlowConfig(scale=0.25)
+    f_weak = run_flow("xgate", weak)
+    f_strong = run_flow("xgate", strong)
+    assert sum(f_weak.opt_report.moves.values()) < \
+        sum(f_strong.opt_report.moves.values())
+
+
+def test_router_config_reaches_router():
+    loose = FlowConfig(scale=0.25,
+                       router=RouterConfig(capacity_headroom=50.0))
+    f = run_flow("xgate", loose)
+    assert f.routing.overflow_fraction == 0.0
+
+
+def test_map_bins_config():
+    f = run_flow("xgate", FlowConfig(scale=0.25, map_bins=16))
+    assert f.input_maps.shape == (16, 16)

@@ -1,0 +1,74 @@
+"""Integration tests: the full pipeline from netlist to prediction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TwoStageBaseline, TwoStageConfig
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.eval import r2_score
+from repro.flow import FlowConfig, run_flow
+from repro.ml import build_sample
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Two small flows + samples, one for training, one held out."""
+    train_flow = run_flow("steelcore", FlowConfig(scale=0.5))
+    test_flow = run_flow("xgate", FlowConfig(scale=0.5))
+    return (build_sample(train_flow), build_sample(test_flow))
+
+
+def test_full_model_learns_heldout_structure(pipeline):
+    train, test = pipeline
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="full"),
+        trainer_config=TrainerConfig(epochs=50))
+    predictor.fit([train])
+    pred = predictor.predict_array(test)
+    # Cross-design generalization from one tiny design is noisy; demand
+    # strong rank correlation rather than a high R².
+    assert np.corrcoef(pred, test.y)[0, 1] > 0.7
+
+
+def test_predictor_roundtrip_through_preprocess(pipeline):
+    train, _ = pipeline
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="gnn"),
+        trainer_config=TrainerConfig(epochs=10))
+    predictor.fit([train])
+    flow = run_flow("xgate", FlowConfig(scale=0.5))
+    sample = predictor.preprocess(flow)
+    by_pin = predictor.predict(sample)
+    assert set(by_pin) == set(flow.input_netlist.endpoint_pins())
+
+
+def test_baseline_and_ours_on_same_data(pipeline):
+    train, test = pipeline
+    baseline = TwoStageBaseline(TwoStageConfig(epochs=60))
+    baseline.fit([train])
+    ours = TimingPredictor(
+        model_config=ModelConfig(variant="full"),
+        trainer_config=TrainerConfig(epochs=50))
+    ours.fit([train])
+    r2_base = r2_score(test.y, baseline.predict_endpoint_arrival(test))
+    r2_ours = r2_score(test.y, ours.predict_array(test))
+    # Both produce finite predictions on the held-out design; record the
+    # comparison (the Table II benchmark asserts the ordering at scale).
+    assert np.isfinite(r2_base) and np.isfinite(r2_ours)
+
+
+def test_seed_changes_dataset_but_not_interface():
+    a = run_flow("xgate", FlowConfig(scale=0.3, base_seed=0))
+    b = run_flow("xgate", FlowConfig(scale=0.3, base_seed=1))
+    la, lb = a.endpoint_labels(), b.endpoint_labels()
+    # Same spec, different seed: structurally similar but distinct data.
+    assert abs(len(la) - len(lb)) < 0.3 * len(la)
+    assert sorted(la.values()) != sorted(lb.values())
+
+
+def test_flow_stage_times_feed_table3(pipeline):
+    train, _ = pipeline
+    assert train.flow_times.get("opt", 0) > 0
+    assert train.flow_times.get("route", 0) > 0
+    assert train.flow_times.get("sta", 0) > 0
+    assert train.preprocess_time > 0

@@ -1,0 +1,62 @@
+"""Tests for cell characterization."""
+
+import pytest
+
+from repro.liberty import DRIVE_STRENGTHS, GATE_KINDS, KIND_INDEX
+from repro.liberty.cells import characterize_all
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return characterize_all()
+
+
+def test_all_kind_drive_combinations_exist(cells):
+    assert len(cells) == len(GATE_KINDS) * len(DRIVE_STRENGTHS)
+    for kind in GATE_KINDS:
+        for drive in DRIVE_STRENGTHS:
+            assert f"{kind.name}_X{drive}" in cells
+
+
+def test_kind_index_is_stable_order(cells):
+    names = [k.name for k in GATE_KINDS]
+    assert [KIND_INDEX[n] for n in names] == list(range(len(names)))
+
+
+def test_larger_drive_is_stronger_and_bigger(cells):
+    for kind in GATE_KINDS:
+        sizes = [cells[f"{kind.name}_X{d}"] for d in DRIVE_STRENGTHS]
+        for small, big in zip(sizes, sizes[1:]):
+            assert big.drive_resistance < small.drive_resistance
+            assert big.input_cap > small.input_cap
+            assert big.area > small.area
+
+
+def test_delay_table_matches_analytic_model(cells):
+    cell = cells["NAND2_X2"]
+    for s, l in [(5.0, 1.0), (20.0, 4.0), (80.0, 16.0)]:
+        assert cell.delay_table.lookup(s, l) == pytest.approx(
+            cell.analytic_delay(s, l))
+        assert cell.slew_table.lookup(s, l) == pytest.approx(
+            cell.analytic_slew(s, l))
+
+
+def test_delay_increases_with_load(cells):
+    cell = cells["INV_X1"]
+    assert (cell.delay_table.lookup(10, 8.0)
+            > cell.delay_table.lookup(10, 1.0))
+
+
+def test_sequential_flags(cells):
+    dff = cells["DFF_X2"]
+    assert dff.is_sequential
+    assert dff.setup_time > 0
+    assert dff.clk_to_q > 0
+    assert not cells["INV_X1"].is_sequential
+    assert cells["INV_X1"].setup_time == 0.0
+
+
+def test_higher_effort_kind_is_slower(cells):
+    # XOR2 has higher logical effort than NAND2 at the same drive.
+    assert (cells["XOR2_X1"].drive_resistance
+            > cells["NAND2_X1"].drive_resistance)

@@ -1,0 +1,62 @@
+"""Tests for the CellLibrary API."""
+
+import pytest
+
+from repro.liberty import CellLibrary, WireModel
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return CellLibrary.default()
+
+
+def test_default_is_cached():
+    assert CellLibrary.default() is CellLibrary.default()
+
+
+def test_cell_lookup(lib):
+    cell = lib.cell("AND2_X4")
+    assert cell.kind.name == "AND2"
+    assert cell.drive == 4
+
+
+def test_unknown_cell_raises(lib):
+    with pytest.raises(KeyError, match="BOGUS_X1"):
+        lib.cell("BOGUS_X1")
+
+
+def test_contains(lib):
+    assert "INV_X1" in lib
+    assert "INV_X3" not in lib
+
+
+def test_sizes_ascending(lib):
+    sizes = lib.sizes_of("NOR2")
+    assert [c.drive for c in sizes] == [1, 2, 4, 8]
+
+
+def test_upsize_downsize_chain(lib):
+    c = lib.cell("OR2_X2")
+    assert lib.upsize(c).drive == 4
+    assert lib.downsize(c).drive == 1
+    assert lib.upsize(lib.cell("OR2_X8")) is None
+    assert lib.downsize(lib.cell("OR2_X1")) is None
+
+
+def test_resize_rejects_bad_drive(lib):
+    with pytest.raises(ValueError):
+        lib.resize(lib.cell("OR2_X2"), 3)
+
+
+def test_wire_model_units():
+    wire = WireModel(r_per_um=0.05, c_per_um=0.2)
+    # kΩ/µm × fF/µm × µm² = ps for a 10 µm wire.
+    assert wire.resistance(10.0) == pytest.approx(0.5)
+    assert wire.capacitance(10.0) == pytest.approx(2.0)
+
+
+def test_pickers(lib):
+    assert lib.buffer().kind.name == "BUF"
+    assert lib.flipflop().is_sequential
+    assert all(not k.is_sequential for k in lib.combinational_kinds())
+    assert lib.n_kinds == 19

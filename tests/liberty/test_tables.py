@@ -1,0 +1,73 @@
+"""Tests for NLDM lookup tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.liberty import LookupTable2D, synthesize_table
+from repro.liberty.tables import DEFAULT_LOAD_AXIS, DEFAULT_SLEW_AXIS
+
+
+def linear_fn(s, l):
+    return 2.0 * s + 3.0 * l + 1.0
+
+
+@pytest.fixture
+def table():
+    return synthesize_table(DEFAULT_SLEW_AXIS, DEFAULT_LOAD_AXIS, linear_fn)
+
+
+def test_lookup_exact_grid_points(table):
+    for s in DEFAULT_SLEW_AXIS[:3]:
+        for l in DEFAULT_LOAD_AXIS[:3]:
+            assert table.lookup(s, l) == pytest.approx(linear_fn(s, l))
+
+
+def test_bilinear_interpolation_is_exact_for_linear_fn(table):
+    # Bilinear interpolation reproduces any bilinear function exactly.
+    assert table.lookup(7.3, 2.7) == pytest.approx(linear_fn(7.3, 2.7))
+
+
+def test_extrapolation_clamps(table):
+    lo = table.lookup(DEFAULT_SLEW_AXIS[0], DEFAULT_LOAD_AXIS[0])
+    assert table.lookup(-100.0, -100.0) == pytest.approx(lo)
+    hi = table.lookup(DEFAULT_SLEW_AXIS[-1], DEFAULT_LOAD_AXIS[-1])
+    assert table.lookup(1e6, 1e6) == pytest.approx(hi)
+
+
+def test_lookup_many_matches_scalar(table):
+    slews = np.array([3.0, 15.0, 200.0])
+    loads = np.array([0.7, 5.0, 80.0])
+    vec = table.lookup_many(slews, loads)
+    for k in range(3):
+        assert vec[k] == pytest.approx(table.lookup(slews[k], loads[k]))
+
+
+def test_rejects_bad_axes():
+    with pytest.raises(ValueError):
+        LookupTable2D(np.array([2.0, 1.0]), np.array([1.0, 2.0]),
+                      np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        LookupTable2D(np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                      np.zeros((3, 2)))
+
+
+@given(st.floats(min_value=0.1, max_value=500.0),
+       st.floats(min_value=0.01, max_value=200.0))
+def test_lookup_within_table_bounds(s, l):
+    """Interpolated values never leave the table's value range."""
+    table = synthesize_table(DEFAULT_SLEW_AXIS, DEFAULT_LOAD_AXIS, linear_fn)
+    value = table.lookup(s, l)
+    assert table.values.min() - 1e-9 <= value <= table.values.max() + 1e-9
+
+
+@given(st.floats(min_value=0.1, max_value=500.0),
+       st.floats(min_value=0.01, max_value=200.0),
+       st.floats(min_value=0.1, max_value=500.0),
+       st.floats(min_value=0.01, max_value=200.0))
+def test_lookup_monotone_for_monotone_fn(s1, l1, s2, l2):
+    """Monotone characterization stays monotone after interpolation."""
+    table = synthesize_table(DEFAULT_SLEW_AXIS, DEFAULT_LOAD_AXIS, linear_fn)
+    if s1 <= s2 and l1 <= l2:
+        assert table.lookup(s1, l1) <= table.lookup(s2, l2) + 1e-9

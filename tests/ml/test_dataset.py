@@ -1,0 +1,88 @@
+"""Tests for sample building and the dataset cache."""
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig
+from repro.ml import build_dataset, build_level_plans, build_sample
+from repro.timing import CELL_OUT, NET_SINK, build_timing_graph
+
+
+def test_sample_basic_consistency(tiny_sample):
+    s = tiny_sample
+    assert s.n_nodes == len(s.pin_ids)
+    assert len(s.y) == s.n_endpoints == len(s.endpoint_pins)
+    assert s.masks.shape == (s.n_endpoints, (32 // 4) ** 2)
+    assert s.layout_stack.shape[0] == 3
+    assert s.preprocess_time > 0
+    assert (s.y > 0).all()
+
+
+def test_level_plans_cover_all_non_source_nodes(tiny_flow):
+    graph = build_timing_graph(tiny_flow.input_netlist)
+    plans = build_level_plans(graph)
+    covered = set()
+    for p in plans:
+        covered.update(int(v) for v in p.net_nodes)
+        covered.update(int(v) for v in p.cell_nodes)
+    sources = {int(v) for v in np.where(graph.level == 0)[0]}
+    assert covered == set(range(graph.n_nodes)) - sources
+
+
+def test_level_plans_preds_are_shallower(tiny_flow):
+    graph = build_timing_graph(tiny_flow.input_netlist)
+    plans = build_level_plans(graph)
+    for lvl, p in enumerate(plans, start=1):
+        for drv in p.net_drivers:
+            assert graph.level[drv] < lvl
+        valid = p.cell_preds[p.cell_preds >= 0]
+        if len(valid):
+            assert (graph.level[valid] < lvl).all()
+        # Padding is -1 only.
+        assert set(np.unique(p.cell_preds[p.cell_preds < 0])) <= {-1}
+
+
+def test_local_labels_only_on_surviving_edges(tiny_flow, tiny_sample):
+    replaced_net = tiny_flow.opt_report.replaced_net_edges
+    for edge in tiny_sample.local_net_delay:
+        assert edge not in replaced_net
+    replaced_cell = tiny_flow.opt_report.replaced_cell_edges
+    for edge in tiny_sample.local_cell_delay:
+        assert edge not in replaced_cell
+
+
+def test_aux_labels_nan_pattern(tiny_sample):
+    s = tiny_sample
+    # Net-delay labels only on net-sink nodes; cell on cell-out nodes.
+    net_labeled = np.isfinite(s.aux_net_delay)
+    assert (s.kind[net_labeled] == NET_SINK).all()
+    cell_labeled = np.isfinite(s.aux_cell_delay)
+    assert (s.kind[cell_labeled] == CELL_OUT).all()
+    # Some labels must be missing (restructuring) and some present.
+    assert 0 < net_labeled.sum() < s.n_nodes
+    assert np.isfinite(s.aux_arrival).sum() > 0
+
+
+def test_endpoint_aux_arrival_equals_labels(tiny_sample):
+    s = tiny_sample
+    np.testing.assert_allclose(s.aux_arrival[s.endpoint_nodes], s.y)
+
+
+def test_stage_features_aligned(tiny_sample):
+    s = tiny_sample
+    assert len(s.stage_features_basic) == len(s.stage_sink_nodes)
+    assert len(s.stage_features_lookahead) == len(s.stage_sink_nodes)
+    assert s.stage_features_lookahead.shape[1] > s.stage_features_basic.shape[1]
+    for node in s.stage_label_by_sink:
+        assert s.kind[node] == NET_SINK
+
+
+def test_dataset_cache_roundtrip(tmp_path):
+    cfg = FlowConfig(scale=0.15)
+    first = build_dataset(["xgate"], flow_config=cfg, map_bins=32,
+                          cache_dir=tmp_path)
+    assert len(list(tmp_path.glob("*.pkl"))) == 1
+    second = build_dataset(["xgate"], flow_config=cfg, map_bins=32,
+                           cache_dir=tmp_path)
+    np.testing.assert_allclose(first[0].y, second[0].y)
+    assert first[0].name == second[0].name

@@ -1,0 +1,51 @@
+"""Tests for node feature extraction."""
+
+import numpy as np
+
+from repro.ml import CELL_FEATURE_DIM, NET_FEATURE_DIM, node_features
+from repro.timing import CELL_OUT, NET_SINK, build_timing_graph
+
+
+def test_feature_shapes(tiny_placed):
+    nl, pl = tiny_placed
+    graph = build_timing_graph(nl)
+    x_cell, x_net = node_features(nl, pl, graph)
+    assert x_cell.shape == (graph.n_nodes, CELL_FEATURE_DIM)
+    assert x_net.shape == (graph.n_nodes, NET_FEATURE_DIM)
+
+
+def test_features_live_on_the_right_nodes(tiny_placed):
+    nl, pl = tiny_placed
+    graph = build_timing_graph(nl)
+    x_cell, x_net = node_features(nl, pl, graph)
+    cell_nodes = graph.kind == CELL_OUT
+    net_nodes = graph.kind == NET_SINK
+    assert np.abs(x_cell[~cell_nodes]).sum() == 0
+    assert np.abs(x_net[~net_nodes]).sum() == 0
+    # Every cell node carries exactly one one-hot gate type.
+    onehot = x_cell[cell_nodes, 5:]
+    np.testing.assert_array_equal(onehot.sum(axis=1), 1.0)
+
+
+def test_features_in_sane_ranges(tiny_placed):
+    nl, pl = tiny_placed
+    graph = build_timing_graph(nl)
+    x_cell, x_net = node_features(nl, pl, graph)
+    assert x_cell.min() >= 0
+    assert x_cell.max() < 30
+    assert x_net.min() >= 0
+    assert x_net.max() < 30
+
+
+def test_net_distance_feature_matches_geometry(tiny_placed):
+    nl, pl = tiny_placed
+    graph = build_timing_graph(nl)
+    _, x_net = node_features(nl, pl, graph)
+    from repro.ml.features import DISTANCE_SCALE
+    # Pick one net edge and check its sink node's distance feature.
+    drv, snk = next(iter(nl.net_edges()))
+    node = graph.node_of[snk]
+    xd, yd = pl.pin_position(nl, drv)
+    xs, ys = pl.pin_position(nl, snk)
+    expect = (abs(xd - xs) + abs(yd - ys)) / DISTANCE_SCALE
+    assert x_net[node, 0] == expect

@@ -1,0 +1,134 @@
+"""Tests for the netlist data structures."""
+
+import pytest
+
+from repro.netlist import IN, OUT, Netlist
+
+from tests.conftest import make_toy_netlist
+
+
+def test_toy_netlist_structure():
+    nl = make_toy_netlist()
+    assert len(nl.cells) == 3
+    assert len(nl.nets) == 5
+    assert len(nl.ports) == 3
+    # pins: 2 PI + 1 PO + AND2(3) + OR2(3) + DFF(2)
+    assert len(nl.pins) == 11
+
+
+def test_endpoints_and_startpoints():
+    nl = make_toy_netlist()
+    endpoints = nl.endpoint_pins()
+    startpoints = nl.startpoint_pins()
+    reg = next(c for c in nl.cells.values() if c.name == "reg0")
+    po = nl.ports["po0"]
+    assert set(endpoints) == {reg.input_pins[0], po.pin}
+    assert reg.output_pin in startpoints
+    assert nl.ports["pi0"].pin in startpoints
+
+
+def test_net_and_cell_edges():
+    nl = make_toy_netlist()
+    net_edges = list(nl.net_edges())
+    cell_edges = list(nl.cell_edges())
+    assert len(net_edges) == 6  # 5 nets, one with two sinks
+    # DFF contributes no cell edges.
+    assert len(cell_edges) == 4
+    reg = next(c for c in nl.cells.values() if c.name == "reg0")
+    assert all(op != reg.output_pin for _, op in cell_edges)
+
+
+def test_connect_rejects_wrong_direction():
+    nl = Netlist("t")
+    g = nl.add_cell("INV_X1")
+    net = nl.create_net(g.output_pin)
+    with pytest.raises(ValueError):
+        nl.connect(net.nid, g.output_pin)  # OUT pin as sink
+
+
+def test_create_net_rejects_in_pin():
+    nl = Netlist("t")
+    g = nl.add_cell("INV_X1")
+    with pytest.raises(ValueError):
+        nl.create_net(g.input_pins[0])
+
+
+def test_double_connect_rejected():
+    nl = Netlist("t")
+    a = nl.add_cell("INV_X1")
+    b = nl.add_cell("INV_X1")
+    net = nl.create_net(a.output_pin)
+    nl.connect(net.nid, b.input_pins[0])
+    with pytest.raises(ValueError):
+        nl.connect(net.nid, b.input_pins[0])
+
+
+def test_disconnect_and_remove_net():
+    nl = make_toy_netlist()
+    po = nl.ports["po0"]
+    nl.disconnect(po.pin)
+    assert nl.pins[po.pin].net is None
+    nl.check()
+
+
+def test_remove_cell_requires_unwired_pins():
+    nl = make_toy_netlist()
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    with pytest.raises(ValueError):
+        nl.remove_cell(g0.cid)
+
+
+def test_change_cell_type_preserves_pins():
+    nl = make_toy_netlist()
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    pins_before = list(g0.input_pins) + [g0.output_pin]
+    nl.change_cell_type(g0.cid, "AND2_X8")
+    assert nl.cells[g0.cid].type_name == "AND2_X8"
+    assert list(g0.input_pins) + [g0.output_pin] == pins_before
+    nl.check()
+
+
+def test_change_cell_type_rejects_pin_count_change():
+    nl = make_toy_netlist()
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    with pytest.raises(ValueError):
+        nl.change_cell_type(g0.cid, "AND3_X1")
+
+
+def test_clone_is_deep_and_id_preserving():
+    nl = make_toy_netlist()
+    other = nl.clone()
+    assert set(other.pins) == set(nl.pins)
+    assert set(other.nets) == set(nl.nets)
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    other.change_cell_type(g0.cid, "AND2_X8")
+    assert nl.cells[g0.cid].type_name == "AND2_X1"  # original untouched
+    # New objects in the clone get fresh, never-reused ids.
+    new_cell = other.add_cell("INV_X1")
+    assert new_cell.cid not in nl.cells
+
+
+def test_fanout_of():
+    nl = make_toy_netlist()
+    g1 = next(c for c in nl.cells.values() if c.name == "g1")
+    assert nl.fanout_of(g1.cid) == 2  # reg D + po0
+
+
+def test_total_cell_area_positive():
+    nl = make_toy_netlist()
+    assert nl.total_cell_area() > 0
+
+
+def test_duplicate_port_rejected():
+    nl = Netlist("t")
+    nl.add_port("p", IN)
+    with pytest.raises(ValueError):
+        nl.add_port("p", OUT)
+
+
+def test_check_detects_broken_backref():
+    nl = make_toy_netlist()
+    net = next(iter(nl.nets.values()))
+    nl.pins[net.sinks[0]].net = None  # corrupt
+    with pytest.raises(ValueError):
+        nl.check()

@@ -1,0 +1,56 @@
+"""Tests for parameter discovery and state save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    load_state_dict,
+    state_dict,
+)
+
+
+class Composite(Module):
+    def __init__(self, rng):
+        self.head = Linear(4, 2, rng=rng)
+        self.blocks = [Linear(4, 4, rng=rng), Linear(4, 4, rng=rng)]
+        self.scale = Parameter(np.ones(1))
+
+
+def test_parameters_discovered_recursively(rng):
+    m = Composite(rng)
+    # head (W, b) + 2 blocks × (W, b) + scale
+    assert len(m.parameters()) == 7
+
+
+def test_modules_iterates_children(rng):
+    m = Composite(rng)
+    kinds = [type(x).__name__ for x in m.modules()]
+    assert kinds.count("Linear") == 3
+
+
+def test_state_dict_roundtrip(rng):
+    a = Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+    b = Sequential(Linear(3, 4, rng=np.random.default_rng(99)), ReLU(),
+                   Linear(4, 1, rng=np.random.default_rng(99)))
+    x = rng.normal(size=(2, 3))
+    assert not np.allclose(a.forward(x), b.forward(x))
+    load_state_dict(b, state_dict(a))
+    np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+
+def test_load_state_dict_shape_mismatch(rng):
+    a = Linear(3, 4, rng=rng)
+    b = Linear(3, 5, rng=rng)
+    with pytest.raises(ValueError):
+        load_state_dict(b, state_dict(a))
+
+
+def test_load_state_dict_length_mismatch(rng):
+    a = Linear(3, 4, rng=rng)
+    with pytest.raises(ValueError):
+        load_state_dict(a, state_dict(a)[:1])

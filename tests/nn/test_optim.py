@@ -1,0 +1,89 @@
+"""Tests for optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Parameter, huber_loss, mse_loss
+
+
+def quadratic_step(optimizer_cls, **kwargs):
+    """Minimize ||p||² and return the trajectory of |p|."""
+    p = Parameter(np.array([5.0, -3.0]))
+    opt = optimizer_cls([p], **kwargs)
+    norms = []
+    for _ in range(200):
+        opt.zero_grad()
+        p.grad += 2 * p.data
+        opt.step()
+        norms.append(np.abs(p.data).max())
+    return norms
+
+
+def test_sgd_converges():
+    norms = quadratic_step(SGD, lr=0.1)
+    assert norms[-1] < 1e-6
+
+
+def test_sgd_momentum_converges():
+    norms = quadratic_step(SGD, lr=0.05, momentum=0.9)
+    assert norms[-1] < 1e-4
+
+
+def test_adam_converges():
+    norms = quadratic_step(Adam, lr=0.3)
+    assert norms[-1] < 1e-3
+
+
+def test_lr_must_be_positive():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.0)
+    with pytest.raises(ValueError):
+        Adam([], lr=-1.0)
+
+
+def test_mse_loss_value_and_grad():
+    pred = np.array([1.0, 2.0, 3.0])
+    target = np.array([1.0, 1.0, 1.0])
+    loss, grad = mse_loss(pred, target)
+    assert loss == pytest.approx(5.0 / 3.0)
+    np.testing.assert_allclose(grad, 2.0 / 3.0 * (pred - target))
+
+
+def test_mse_loss_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse_loss(np.zeros(3), np.zeros(4))
+
+
+def test_huber_matches_mse_for_small_errors():
+    pred = np.array([0.1, -0.2])
+    target = np.zeros(2)
+    h, hg = huber_loss(pred, target, delta=10.0)
+    m, mg = mse_loss(pred, target)
+    assert h == pytest.approx(m / 2)
+    np.testing.assert_allclose(hg, mg / 2)
+
+
+def test_huber_linear_for_large_errors():
+    pred = np.array([100.0])
+    target = np.zeros(1)
+    _, grad = huber_loss(pred, target, delta=1.0)
+    assert grad[0] == pytest.approx(1.0)
+
+
+def test_training_reduces_loss_on_regression(rng):
+    layer = Linear(3, 1, rng=rng)
+    opt = Adam(layer.parameters(), lr=0.05)
+    x = rng.normal(size=(64, 3))
+    w_true = np.array([[1.0, -2.0, 0.5]])
+    y = x @ w_true.T
+    first = None
+    for _ in range(600):
+        pred = layer.forward(x)
+        loss, grad = mse_loss(pred, y)
+        if first is None:
+            first = loss
+        opt.zero_grad()
+        layer.backward(grad)
+        opt.step()
+    assert loss < 0.01 * first
+    np.testing.assert_allclose(layer.weight.data, w_true, atol=0.05)

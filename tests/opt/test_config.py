@@ -1,0 +1,29 @@
+"""Tests for optimizer configuration semantics."""
+
+from dataclasses import replace
+
+from repro.opt import OptimizerConfig
+
+
+def test_defaults_are_in_paper_regime():
+    cfg = OptimizerConfig()
+    assert cfg.max_passes >= 3
+    assert 0.0 <= cfg.remap_fraction <= 1.0
+    assert 0.0 <= cfg.rewrite_rate <= 1.0
+    assert cfg.min_free_space > 0
+
+
+def test_config_is_frozen():
+    cfg = OptimizerConfig()
+    try:
+        cfg.max_passes = 99
+        raised = False
+    except Exception:
+        raised = True
+    assert raised
+
+
+def test_replace_produces_variant():
+    cfg = replace(OptimizerConfig(), rewrite_rate=0.0)
+    assert cfg.rewrite_rate == 0.0
+    assert cfg.max_passes == OptimizerConfig().max_passes

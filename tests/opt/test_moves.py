@@ -1,0 +1,179 @@
+"""Tests for optimizer moves."""
+
+import pytest
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.opt import (
+    clone_driver,
+    decompose_gate,
+    downsize_cell,
+    insert_buffer,
+    remap_cell,
+    upsize_cell,
+)
+from repro.placement import RowGrid, build_die, legalize, place
+
+
+@pytest.fixture
+def design():
+    spec = DESIGN_PRESETS["xgate"].scaled(0.3)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    grid = RowGrid.from_placement(nl, pl)
+    return nl, pl, grid
+
+
+def _some_cell(nl, min_inputs=1, max_drive=4, kinds=None):
+    for cid in sorted(nl.cells):
+        ct = nl.cell_type(cid)
+        if ct.is_sequential:
+            continue
+        if ct.n_inputs < min_inputs or ct.drive > max_drive:
+            continue
+        if kinds and ct.kind.name not in kinds:
+            continue
+        if nl.pins[nl.cells[cid].output_pin].net is None:
+            continue
+        return cid
+    raise AssertionError("no suitable cell found")
+
+
+def test_upsize_downsize_roundtrip(design):
+    nl, _, _ = design
+    cid = _some_cell(nl)
+    before = nl.cells[cid].type_name
+    assert upsize_cell(nl, cid)
+    assert nl.cell_type(cid).drive > nl.library.cell(before).drive
+    assert downsize_cell(nl, cid)
+    assert nl.cells[cid].type_name == before
+    nl.check()
+
+
+def test_remap_replaces_instance_preserves_connectivity(design):
+    nl, pl, grid = design
+    cid = _some_cell(nl)
+    inst = nl.cells[cid]
+    in_nets = [nl.pins[ip].net for ip in inst.input_pins]
+    out_sinks = sorted(nl.nets[nl.pins[inst.output_pin].net].sinks)
+    old_pins = set(inst.input_pins + [inst.output_pin])
+    n_cells = len(nl.cells)
+
+    new_cid = remap_cell(nl, pl, grid, cid)
+    assert new_cid is not None and new_cid != cid
+    assert cid not in nl.cells
+    assert len(nl.cells) == n_cells
+    new = nl.cells[new_cid]
+    assert [nl.pins[ip].net for ip in new.input_pins] == in_nets
+    assert sorted(nl.nets[nl.pins[new.output_pin].net].sinks) == out_sinks
+    # All old pins are gone — the arcs are "replaced".
+    assert not (old_pins & set(nl.pins))
+    nl.check()
+
+
+def test_remap_defaults_to_upsize(design):
+    nl, pl, grid = design
+    cid = _some_cell(nl, max_drive=2)
+    drive = nl.cell_type(cid).drive
+    new_cid = remap_cell(nl, pl, grid, cid)
+    assert nl.cell_type(new_cid).drive == 2 * drive
+
+
+def test_remap_rejects_sequential(design):
+    nl, pl, grid = design
+    reg = nl.sequential_cells()[0]
+    assert remap_cell(nl, pl, grid, reg.cid) is None
+
+
+def test_insert_buffer_rewires_sinks(design):
+    nl, pl, grid = design
+    # Find a net with ≥ 2 sinks.
+    net = next(n for n in nl.nets.values() if len(n.sinks) >= 2)
+    moved = list(net.sinks[:1])
+    n_sinks_before = len(net.sinks)
+    buf_cid = insert_buffer(nl, pl, grid, net.nid, moved)
+    assert buf_cid is not None
+    buf = nl.cells[buf_cid]
+    assert nl.cell_type(buf_cid).kind.name == "BUF"
+    # Original net lost the moved sink, gained the buffer input.
+    assert len(net.sinks) == n_sinks_before
+    assert buf.input_pins[0] in net.sinks
+    new_net = nl.nets[nl.pins[buf.output_pin].net]
+    assert sorted(new_net.sinks) == sorted(moved)
+    nl.check()
+
+
+def test_decompose_wide_gate(design):
+    nl, pl, grid = design
+    cid = _some_cell(nl, min_inputs=3)
+    inst = nl.cells[cid]
+    n_inputs = nl.cell_type(cid).n_inputs
+    in_nets = sorted(nl.pins[ip].net for ip in inst.input_pins)
+    out_sinks = sorted(nl.nets[nl.pins[inst.output_pin].net].sinks)
+    n_cells = len(nl.cells)
+
+    new_cells = decompose_gate(nl, pl, grid, cid)
+    assert new_cells is not None
+    assert len(new_cells) == n_inputs - 1
+    assert cid not in nl.cells
+    assert len(nl.cells) == n_cells + len(new_cells) - 1
+    # All original input nets still feed the tree; sinks see the new root.
+    tree_inputs = []
+    for nc in new_cells:
+        for ip in nl.cells[nc].input_pins:
+            net = nl.pins[ip].net
+            if net in in_nets:
+                tree_inputs.append(net)
+    assert sorted(tree_inputs) == in_nets
+    root = nl.cells[new_cells[-1]]
+    assert sorted(nl.nets[nl.pins[root.output_pin].net].sinks) == out_sinks
+    nl.check()
+
+
+def test_decompose_respects_input_order(design):
+    nl, pl, grid = design
+    cid = _some_cell(nl, min_inputs=3)
+    inst = nl.cells[cid]
+    order = list(reversed(inst.input_pins))
+    latest_net = nl.pins[order[-1]].net
+    new_cells = decompose_gate(nl, pl, grid, cid, input_order=order)
+    # The latest-arriving input must feed the root gate directly.
+    root = nl.cells[new_cells[-1]]
+    root_in_nets = [nl.pins[ip].net for ip in root.input_pins]
+    assert latest_net in root_in_nets
+
+
+def test_decompose_rejects_two_input_gate(design):
+    nl, pl, grid = design
+    cid = _some_cell(nl, kinds={"AND2", "OR2", "NAND2", "NOR2", "XOR2"})
+    assert decompose_gate(nl, pl, grid, cid) is None
+
+
+def test_clone_driver_splits_fanout(design):
+    nl, pl, grid = design
+    net = max(nl.nets.values(), key=lambda n: len(n.sinks))
+    if len(net.sinks) < 4:
+        pytest.skip("no high-fanout net in this tiny design")
+    drv_cell = nl.pins[net.driver].cell
+    total = len(net.sinks)
+    clone_cid = clone_driver(nl, pl, grid, drv_cell)
+    assert clone_cid is not None
+    clone = nl.cells[clone_cid]
+    clone_net = nl.nets[nl.pins[clone.output_pin].net]
+    assert len(net.sinks) + len(clone_net.sinks) == total
+    assert len(clone_net.sinks) >= 1
+    # Clone shares the original's input nets.
+    orig = nl.cells[drv_cell]
+    assert ([nl.pins[ip].net for ip in clone.input_pins]
+            == [nl.pins[ip].net for ip in orig.input_pins])
+    nl.check()
+
+
+def test_clone_rejects_low_fanout(design):
+    nl, pl, grid = design
+    net = min((n for n in nl.nets.values()
+               if nl.pins[n.driver].cell is not None
+               and not nl.cell_type(nl.pins[n.driver].cell).is_sequential),
+              key=lambda n: len(n.sinks))
+    assert clone_driver(nl, pl, grid, nl.pins[net.driver].cell) is None

@@ -1,0 +1,70 @@
+"""Property-based tests: random move sequences preserve netlist invariants.
+
+Whatever the optimizer does — in any order — the netlist must stay a valid
+DAG, endpoints must survive, and the placement must track the cells.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.opt.moves import (
+    clone_driver,
+    decompose_gate,
+    downsize_cell,
+    insert_buffer,
+    remap_cell,
+    upsize_cell,
+)
+from repro.placement import Placement, RowGrid, build_die, legalize, place
+from repro.timing import build_timing_graph
+
+MOVES = ["upsize", "downsize", "remap", "decompose", "clone", "buffer"]
+
+
+def _fresh_design():
+    spec = DESIGN_PRESETS["xgate"].scaled(0.15)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.sampled_from(MOVES), min_size=1, max_size=12),
+       st.integers(min_value=0, max_value=10_000))
+def test_random_move_sequences_keep_invariants(moves, seed):
+    nl, pl = _fresh_design()
+    endpoints_before = set(nl.endpoint_pins())
+    grid = RowGrid.from_placement(nl, pl)
+    rng = np.random.default_rng(seed)
+
+    for move in moves:
+        comb = [c.cid for c in nl.combinational_cells()]
+        if not comb:
+            break
+        cid = int(rng.choice(comb))
+        if move == "upsize":
+            upsize_cell(nl, cid)
+        elif move == "downsize":
+            downsize_cell(nl, cid)
+        elif move == "remap":
+            remap_cell(nl, pl, grid, cid)
+        elif move == "decompose":
+            decompose_gate(nl, pl, grid, cid)
+        elif move == "clone":
+            clone_driver(nl, pl, grid, cid)
+        elif move == "buffer":
+            out_net = nl.pins[nl.cells[cid].output_pin].net
+            if out_net is not None and nl.nets[out_net].sinks:
+                sink = nl.nets[out_net].sinks[0]
+                insert_buffer(nl, pl, grid, out_net, [sink])
+
+    # Invariants: structure valid, acyclic, endpoints intact, placement
+    # covers exactly the existing cells.
+    nl.check()
+    build_timing_graph(nl)
+    assert set(nl.endpoint_pins()) == endpoints_before
+    assert set(pl.cell_xy) == set(nl.cells)

@@ -1,0 +1,60 @@
+"""Tests for replaced-edge accounting."""
+
+from repro.opt import OptReport, diff_replaced_edges
+from repro.placement import RowGrid, Placement, Die
+from repro.opt.moves import remap_cell
+
+from tests.conftest import make_toy_netlist
+
+
+def _placed_toy():
+    nl = make_toy_netlist()
+    die = Die(width=30.0, height=30.0)
+    for port in nl.ports.values():
+        die.port_positions[port.pin] = (0.0, 0.0)
+    pl = Placement(die=die)
+    for i, cid in enumerate(sorted(nl.cells)):
+        pl.set_position(cid, 5.0 + 3 * i, 5.0)
+    return nl, pl
+
+
+def test_no_change_means_nothing_replaced():
+    nl = make_toy_netlist()
+    report = OptReport(design="toy")
+    diff_replaced_edges(nl, nl.clone(), report)
+    assert report.net_replaced_ratio == 0.0
+    assert report.cell_replaced_ratio == 0.0
+    assert report.n_input_net_edges == 6
+
+
+def test_sizing_in_place_replaces_nothing():
+    nl = make_toy_netlist()
+    opt = nl.clone()
+    g0 = next(c for c in opt.cells.values() if c.name == "g0")
+    opt.change_cell_type(g0.cid, "AND2_X8")
+    report = OptReport(design="toy")
+    diff_replaced_edges(nl, opt, report)
+    assert len(report.replaced_net_edges) == 0
+    assert len(report.replaced_cell_edges) == 0
+
+
+def test_remap_replaces_all_cell_arcs():
+    nl, pl = _placed_toy()
+    opt = nl.clone()
+    opt_pl = Placement(die=pl.die, cell_xy=dict(pl.cell_xy))
+    grid = RowGrid.from_placement(opt, opt_pl)
+    g0 = next(c for c in opt.cells.values() if c.name == "g0")
+    n_inputs = len(g0.input_pins)
+    fanout = len(opt.nets[opt.pins[g0.output_pin].net].sinks)
+    assert remap_cell(opt, opt_pl, grid, g0.cid) is not None
+    report = OptReport(design="toy")
+    diff_replaced_edges(nl, opt, report)
+    assert len(report.replaced_cell_edges) == n_inputs
+    assert len(report.replaced_net_edges) == n_inputs + fanout
+
+
+def test_report_count_accumulates():
+    report = OptReport(design="x")
+    report.count("upsize")
+    report.count("upsize", 2)
+    assert report.moves == {"upsize": 3}

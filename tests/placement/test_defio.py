@@ -1,0 +1,61 @@
+"""Tests for DEF-lite placement I/O."""
+
+import io
+
+import pytest
+
+from repro.placement.defio import read_def, write_def
+
+
+def roundtrip(nl, pl):
+    buf = io.StringIO()
+    write_def(nl, pl, buf)
+    return read_def(nl, buf.getvalue()), buf.getvalue()
+
+
+def test_def_roundtrip_positions(tiny_placed):
+    nl, pl = tiny_placed
+    back, text = roundtrip(nl, pl)
+    assert "VERSION 5.8" in text
+    for cid, (x, y) in pl.cell_xy.items():
+        bx, by = back.cell_xy[cid]
+        assert bx == pytest.approx(x, abs=1e-3)
+        assert by == pytest.approx(y, abs=1e-3)
+
+
+def test_def_roundtrip_die_and_ports(tiny_placed):
+    nl, pl = tiny_placed
+    back, _ = roundtrip(nl, pl)
+    assert back.die.width == pytest.approx(pl.die.width, abs=1e-3)
+    for pid, (x, y) in pl.die.port_positions.items():
+        bx, by = back.die.port_positions[pid]
+        assert bx == pytest.approx(x, abs=1e-3)
+        assert by == pytest.approx(y, abs=1e-3)
+
+
+def test_def_rejects_unknown_component(tiny_placed):
+    nl, pl = tiny_placed
+    buf = io.StringIO()
+    write_def(nl, pl, buf)
+    text = buf.getvalue().replace("- g0 ", "- mystery_cell ", 1)
+    with pytest.raises(ValueError):
+        read_def(nl, text)
+
+
+def test_def_requires_diearea(tiny_placed):
+    nl, _ = tiny_placed
+    with pytest.raises(ValueError, match="DIEAREA"):
+        read_def(nl, "VERSION 5.8 ;\nEND DESIGN\n")
+
+
+def test_def_requires_complete_placement(tiny_placed):
+    nl, pl = tiny_placed
+    buf = io.StringIO()
+    write_def(nl, pl, buf)
+    lines = [ln for ln in buf.getvalue().splitlines()]
+    # Drop one component line.
+    idx = next(i for i, ln in enumerate(lines)
+               if ln.startswith("- ") and "PLACED" in ln)
+    del lines[idx]
+    with pytest.raises(ValueError, match="every component"):
+        read_def(nl, "\n".join(lines))

@@ -1,0 +1,77 @@
+"""Tests for the layout feature maps (cell density, RUDY, macro)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.placement import build_die, compute_layout_maps, legalize, place
+
+
+@pytest.fixture(scope="module")
+def maps_and_design():
+    spec = DESIGN_PRESETS["rocket"].scaled(0.15)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, die, pl, compute_layout_maps(nl, pl, m=32, n=32)
+
+
+def test_map_shapes(maps_and_design):
+    _, _, _, maps = maps_and_design
+    assert maps.cell_density.shape == (32, 32)
+    assert maps.rudy.shape == (32, 32)
+    assert maps.macro.shape == (32, 32)
+    assert maps.stacked().shape == (3, 32, 32)
+
+
+def test_density_conserves_area(maps_and_design):
+    nl, die, _, maps = maps_and_design
+    bin_area = maps.bin_w * maps.bin_h
+    total = maps.cell_density.sum() * bin_area
+    assert total == pytest.approx(nl.total_cell_area(), rel=0.02)
+
+
+def test_density_nonnegative_and_bounded(maps_and_design):
+    _, _, _, maps = maps_and_design
+    assert (maps.cell_density >= 0).all()
+    # Legalized (non-overlapping) cells keep utilization near ≤ 1.
+    assert maps.cell_density.max() < 1.6
+
+
+def test_macro_map_matches_floorplan(maps_and_design):
+    nl, die, _, maps = maps_and_design
+    bin_area = maps.bin_w * maps.bin_h
+    macro_area = sum(m.area for m in die.macros)
+    assert maps.macro.sum() * bin_area == pytest.approx(macro_area, rel=0.02)
+    assert maps.macro.max() <= 1.0
+
+
+def test_rudy_positive_where_nets_are(maps_and_design):
+    _, _, _, maps = maps_and_design
+    assert maps.rudy.sum() > 0
+    assert (maps.rudy >= 0).all()
+
+
+def test_free_space_complements_density(maps_and_design):
+    _, _, _, maps = maps_and_design
+    free = maps.free_space()
+    assert free.shape == maps.cell_density.shape
+    assert (free >= 0).all() and (free <= 1).all()
+    # Macro bins have no free space.
+    assert free[maps.macro > 0.99].max() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_macro_bins_are_cell_free(maps_and_design):
+    _, _, _, maps = maps_and_design
+    solid_macro = maps.macro > 0.99
+    if solid_macro.any():
+        assert maps.cell_density[solid_macro].max() < 0.6
+
+
+def test_resolution_independence(maps_and_design):
+    nl, die, pl, maps32 = maps_and_design
+    maps16 = compute_layout_maps(nl, pl, m=16, n=16)
+    a16 = maps16.cell_density.sum() * maps16.bin_w * maps16.bin_h
+    a32 = maps32.cell_density.sum() * maps32.bin_w * maps32.bin_h
+    assert a16 == pytest.approx(a32, rel=0.02)

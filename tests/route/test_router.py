@@ -1,0 +1,76 @@
+"""Tests for the global router."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.placement import build_die, legalize, place
+from repro.route import RouterConfig, RoutingResult, route
+from repro.timing import PreRouteEstimator
+
+
+@pytest.fixture(scope="module")
+def routed():
+    spec = DESIGN_PRESETS["xgate"].scaled(0.4)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl, route(nl, pl)
+
+
+def test_every_connection_routed(routed):
+    nl, pl, result = routed
+    edges = set(nl.net_edges())
+    assert set(result.lengths.lengths) == edges
+
+
+def test_routed_length_at_least_near_manhattan(routed):
+    nl, pl, result = routed
+    pre = PreRouteEstimator(nl, pl)
+    cfg = RouterConfig()
+    for (drv, snk), routed_len in result.lengths.lengths.items():
+        manhattan = pre.length(drv, snk)
+        # Jitter may shrink slightly; detours only add.
+        assert routed_len >= manhattan * (1.0 - cfg.jitter) - 1e-9
+
+
+def test_total_wirelength_consistent(routed):
+    _, _, result = routed
+    assert result.total_wirelength == pytest.approx(
+        sum(result.lengths.lengths.values()))
+    assert result.total_detour >= 0
+
+
+def test_usage_accounting(routed):
+    nl, _, result = routed
+    n_conns = sum(1 for _ in nl.net_edges())
+    # Every connection claims one horizontal and one vertical run.
+    assert result.h_usage.sum() >= n_conns
+    assert result.v_usage.sum() >= n_conns
+
+
+def test_congestion_map_shape_and_range(routed):
+    _, _, result = routed
+    cmap = result.congestion_map()
+    assert cmap.shape == result.h_usage.shape
+    assert (cmap >= 0).all()
+    assert 0.0 <= result.overflow_fraction <= 1.0
+
+
+def test_routing_deterministic(routed):
+    nl, pl, result = routed
+    again = route(nl, pl)
+    assert again.lengths.lengths == result.lengths.lengths
+
+
+def test_congested_config_produces_more_detour():
+    spec = DESIGN_PRESETS["xgate"].scaled(0.4)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    loose = route(nl, pl, RouterConfig(capacity_headroom=5.0))
+    tight = route(nl, pl, RouterConfig(capacity_headroom=1.2))
+    assert tight.total_detour > loose.total_detour
+    assert tight.overflow_fraction >= loose.overflow_fraction

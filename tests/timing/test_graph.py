@@ -1,0 +1,94 @@
+"""Tests for the pin-level timing graph."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Netlist, generate_preset
+from repro.timing import CELL_OUT, NET_SINK, SOURCE, build_timing_graph
+
+from tests.conftest import make_toy_netlist
+
+
+@pytest.fixture
+def toy_graph():
+    nl = make_toy_netlist()
+    return nl, build_timing_graph(nl)
+
+
+def test_node_kinds(toy_graph):
+    nl, g = toy_graph
+    kinds = {int(g.pin_ids[i]): g.kind[i] for i in range(g.n_nodes)}
+    for port in nl.primary_inputs():
+        assert kinds[port.pin] == SOURCE
+    for port in nl.primary_outputs():
+        assert kinds[port.pin] == NET_SINK
+    for cell in nl.combinational_cells():
+        assert kinds[cell.output_pin] == CELL_OUT
+        for ip in cell.input_pins:
+            assert kinds[ip] == NET_SINK
+    for reg in nl.sequential_cells():
+        assert kinds[reg.output_pin] == SOURCE  # D→Q arc is cut
+        assert kinds[reg.input_pins[0]] == NET_SINK
+
+
+def test_levels_are_topological(toy_graph):
+    _, g = toy_graph
+    for src, dst in zip(g.net_edge_src, g.net_edge_dst):
+        assert g.level[src] < g.level[dst]
+    for src, dst in zip(g.cell_edge_src, g.cell_edge_dst):
+        assert g.level[src] < g.level[dst]
+
+
+def test_levels_partition_nodes(toy_graph):
+    _, g = toy_graph
+    seen = np.concatenate(g.levels)
+    assert sorted(seen) == list(range(g.n_nodes))
+
+
+def test_level_is_longest_path_depth(toy_graph):
+    """Kahn-wave levels equal 1 + max over predecessors."""
+    _, g = toy_graph
+    for v in range(g.n_nodes):
+        preds = g.predecessors(v)
+        if len(preds):
+            assert g.level[v] == g.level[preds].max() + 1
+        else:
+            assert g.level[v] == 0
+
+
+def test_predecessor_csr(toy_graph):
+    nl, g = toy_graph
+    g1 = next(c for c in nl.cells.values() if c.name == "g1")
+    node = g.node_of[g1.output_pin]
+    preds = {int(g.pin_ids[p]) for p in g.predecessors(node)}
+    assert preds == set(g1.input_pins)
+
+
+def test_endpoints_and_startpoints_mapped(toy_graph):
+    nl, g = toy_graph
+    assert {int(g.pin_ids[v]) for v in g.endpoints} == set(nl.endpoint_pins())
+    assert {int(g.pin_ids[v])
+            for v in g.startpoints} == set(nl.startpoint_pins())
+
+
+def test_cycle_detection():
+    nl = Netlist("cyclic")
+    a = nl.add_cell("INV_X1")
+    b = nl.add_cell("INV_X1")
+    na = nl.create_net(a.output_pin)
+    nb = nl.create_net(b.output_pin)
+    nl.connect(na.nid, b.input_pins[0])
+    nl.connect(nb.nid, a.input_pins[0])
+    with pytest.raises(ValueError, match="cycle"):
+        build_timing_graph(nl)
+
+
+def test_generated_design_graph_consistency():
+    nl = generate_preset("xgate", scale=0.25)
+    g = build_timing_graph(nl)
+    assert g.n_nodes == len(nl.pins)
+    assert len(g.net_edge_src) == sum(1 for _ in nl.net_edges())
+    assert len(g.cell_edge_src) == sum(1 for _ in nl.cell_edges())
+    # Registers cut the graph: D pins are endpoints, Q pins sources.
+    for reg in nl.sequential_cells():
+        assert g.node_of[reg.output_pin] in set(g.startpoints)

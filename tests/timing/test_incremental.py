@@ -1,0 +1,116 @@
+"""Tests: incremental STA must agree exactly with full STA."""
+
+import numpy as np
+import pytest
+
+from repro.timing import PreRouteEstimator, build_timing_graph, run_sta
+from repro.timing.incremental import IncrementalSTA
+
+
+@pytest.fixture
+def design(tiny_spec):
+    from repro.netlist import generate_netlist
+    from repro.placement import build_die, legalize, place
+
+    nl = generate_netlist(tiny_spec)
+    die = build_die(nl, tiny_spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl
+
+
+def _full(nl, pl, period):
+    return run_sta(build_timing_graph(nl), PreRouteEstimator(nl, pl), period)
+
+
+def _assert_equal(inc_res, full_res):
+    np.testing.assert_allclose(inc_res.arrival, full_res.arrival,
+                               atol=1e-9)
+    np.testing.assert_allclose(inc_res.slew, full_res.slew, atol=1e-9)
+    finite = np.isfinite(full_res.required)
+    np.testing.assert_allclose(inc_res.required[finite],
+                               full_res.required[finite], atol=1e-9)
+    assert inc_res.endpoint_slack == pytest.approx(full_res.endpoint_slack)
+
+
+def test_initial_state_matches_full_sta(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    _assert_equal(inc.result, _full(nl, pl, 800.0))
+
+
+def test_resize_refresh_matches_full_sta(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    cid = next(c.cid for c in nl.combinational_cells()
+               if nl.cell_type(c.cid).drive == 1)
+    kind = nl.cell_type(cid).kind.name
+    inc.resize_cell(cid, f"{kind}_X8")
+    got = inc.refresh()
+    _assert_equal(got, _full(nl, pl, 800.0))
+    assert inc.partial_updates == 1
+
+
+def test_move_refresh_matches_full_sta(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    cid = sorted(nl.cells)[len(nl.cells) // 2]
+    x, y = pl.position(cid)
+    inc.move_cell(cid, x + 10.0, y + 5.0)
+    got = inc.refresh()
+    _assert_equal(got, _full(nl, pl, 800.0))
+
+
+def test_sequence_of_edits(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    comb = [c.cid for c in nl.combinational_cells()][:5]
+    for cid in comb:
+        ctype = nl.cell_type(cid)
+        bigger = nl.library.upsize(ctype)
+        if bigger is not None:
+            inc.resize_cell(cid, bigger.name)
+        inc.refresh()
+    _assert_equal(inc.result, _full(nl, pl, 800.0))
+    assert inc.partial_updates >= 1
+
+
+def test_refresh_without_edits_is_noop(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    before = inc.result
+    assert inc.refresh() is before
+    assert inc.partial_updates == 0
+
+
+def test_rebuild_after_structural_edit(design):
+    nl, pl = design
+    from repro.opt.moves import insert_buffer
+    from repro.placement import RowGrid
+
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    grid = RowGrid.from_placement(nl, pl)
+    net = next(n for n in nl.nets.values() if len(n.sinks) >= 2)
+    assert insert_buffer(nl, pl, grid, net.nid, [net.sinks[0]]) is not None
+    got = inc.rebuild()
+    _assert_equal(got, _full(nl, pl, 800.0))
+    assert inc.full_rebuilds == 1
+
+
+def test_resize_changes_downstream_timing(design):
+    nl, pl = design
+    inc = IncrementalSTA(nl, pl, clock_period=800.0)
+    before = dict(inc.result.endpoint_arrival)
+    # Upsize the driver of the worst endpoint's critical path head.
+    ep = min(inc.result.endpoint_slack, key=inc.result.endpoint_slack.get)
+    path = inc.result.critical_path(ep)
+    cid = next(nl.pins[p].cell for p in path
+               if nl.pins[p].cell is not None
+               and not nl.cell_type(nl.pins[p].cell).is_sequential)
+    ctype = nl.cell_type(cid)
+    bigger = nl.library.upsize(ctype)
+    if bigger is None:
+        pytest.skip("cell already at max drive")
+    inc.resize_cell(cid, bigger.name)
+    after = inc.refresh().endpoint_arrival
+    assert any(abs(after[p] - before[p]) > 1e-6 for p in after)

@@ -1,0 +1,46 @@
+"""Tests for batched NLDM evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.liberty import CellLibrary
+from repro.timing import BatchNLDM, batch_nldm_for
+
+
+@pytest.fixture(scope="module")
+def nldm():
+    return BatchNLDM(CellLibrary.default())
+
+
+def test_batch_matches_per_cell_tables(nldm):
+    lib = CellLibrary.default()
+    names = ["INV_X1", "NAND2_X4", "XOR2_X8", "DFF_X2"]
+    slews = np.array([5.0, 12.0, 60.0, 140.0])
+    loads = np.array([0.5, 3.0, 10.0, 50.0])
+    type_ids = np.array([nldm.type_id(n) for n in names])
+    delay, slew = nldm.lookup(type_ids, slews, loads)
+    for k, nm in enumerate(names):
+        cell = lib.cell(nm)
+        assert delay[k] == pytest.approx(
+            cell.delay_table.lookup(slews[k], loads[k]))
+        assert slew[k] == pytest.approx(
+            cell.slew_table.lookup(slews[k], loads[k]))
+
+
+def test_clamped_extrapolation(nldm):
+    tid = np.array([nldm.type_id("INV_X1")])
+    d_low, _ = nldm.lookup(tid, np.array([-10.0]), np.array([-1.0]))
+    d_min, _ = nldm.lookup(tid, np.array([2.0]), np.array([0.25]))
+    assert d_low[0] == pytest.approx(d_min[0])
+
+
+def test_cache_per_library():
+    lib = CellLibrary.default()
+    assert batch_nldm_for(lib) is batch_nldm_for(lib)
+
+
+def test_delay_monotone_in_load(nldm):
+    tid = np.full(5, nldm.type_id("NAND2_X1"))
+    loads = np.array([0.5, 1.0, 4.0, 16.0, 60.0])
+    delay, _ = nldm.lookup(tid, np.full(5, 10.0), loads)
+    assert (np.diff(delay) > 0).all()

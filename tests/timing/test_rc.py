@@ -1,0 +1,29 @@
+"""Tests for wire-length providers."""
+
+import pytest
+
+from repro.timing import PreRouteEstimator, RoutedLengths
+
+
+def test_pre_route_estimator_is_manhattan(tiny_placed):
+    nl, pl = tiny_placed
+    est = PreRouteEstimator(nl, pl)
+    drv, snk = next(iter(nl.net_edges()))
+    (xd, yd) = pl.pin_position(nl, drv)
+    (xs, ys) = pl.pin_position(nl, snk)
+    assert est.length(drv, snk) == abs(xd - xs) + abs(yd - ys)
+
+
+def test_routed_lengths_storage():
+    r = RoutedLengths()
+    r.set_length(1, 2, 12.5)
+    assert r.length(1, 2) == 12.5
+    with pytest.raises(KeyError):
+        r.length(3, 4)
+
+
+def test_estimator_symmetric(tiny_placed):
+    nl, pl = tiny_placed
+    est = PreRouteEstimator(nl, pl)
+    drv, snk = next(iter(nl.net_edges()))
+    assert est.length(drv, snk) == est.length(snk, drv)

@@ -1,0 +1,147 @@
+"""Tests for the STA engine."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import generate_preset, DESIGN_PRESETS, generate_netlist
+from repro.placement import Placement, build_die, legalize, place
+from repro.timing import (
+    PreRouteEstimator,
+    RoutedLengths,
+    build_timing_graph,
+    run_sta,
+)
+
+from tests.conftest import make_toy_netlist
+
+
+def toy_setup():
+    nl = make_toy_netlist()
+    from repro.placement import Die
+    die = Die(width=20.0, height=20.0)
+    for port in nl.ports.values():
+        die.port_positions[port.pin] = (0.0, 0.0)
+    pl = Placement(die=die)
+    for cid in nl.cells:
+        pl.set_position(cid, 10.0, 10.0)
+    return nl, pl
+
+
+def test_toy_arrival_hand_computed():
+    nl, pl = toy_setup()
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=200.0)
+    lib = nl.library
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    g1 = next(c for c in nl.cells.values() if c.name == "g1")
+    reg = next(c for c in nl.cells.values() if c.name == "reg0")
+
+    # The critical path into reg/D goes pi → g0 → g1 → D.
+    node_d = g.node_of[reg.input_pins[0]]
+    arr_d = res.arrival[node_d]
+    assert arr_d > 0
+    # Arrival at g1 input from g0 must be ≤ arrival at g1 output.
+    assert (res.arrival[g.node_of[g1.input_pins[0]]]
+            < res.arrival[g.node_of[g1.output_pin]])
+    # Q launches at clk-to-q.
+    q_node = g.node_of[reg.output_pin]
+    assert res.arrival[q_node] == pytest.approx(
+        lib.cell("DFF_X1").clk_to_q)
+
+
+def test_arrival_monotone_along_edges():
+    nl = generate_preset("xgate", scale=0.25)
+    spec = DESIGN_PRESETS["xgate"].scaled(0.25)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=1000.0)
+    for src, dst in zip(g.net_edge_src, g.net_edge_dst):
+        assert res.arrival[dst] >= res.arrival[src] - 1e-9
+    for src, dst in zip(g.cell_edge_src, g.cell_edge_dst):
+        assert res.arrival[dst] > res.arrival[src]
+
+
+def test_slack_and_wns_tns():
+    nl, pl = toy_setup()
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=10.0)
+    assert res.wns == min(res.endpoint_slack.values())
+    assert res.tns == sum(min(0.0, s) for s in res.endpoint_slack.values())
+    assert res.wns < 0  # 10 ps clock is not meetable
+    res2 = run_sta(g, PreRouteEstimator(nl, pl), clock_period=1e6)
+    assert res2.wns > 0 and res2.tns == 0.0
+
+
+def test_critical_path_is_connected_and_ends_at_endpoint():
+    nl = generate_preset("xgate", scale=0.25)
+    spec = DESIGN_PRESETS["xgate"].scaled(0.25)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=1000.0)
+    ep = max(res.endpoint_arrival, key=res.endpoint_arrival.get)
+    path = res.critical_path(ep)
+    assert path[-1] == ep
+    assert g.level[g.node_of[path[0]]] == 0
+    # Arrival increases monotonically along the path.
+    arr = [res.arrival[g.node_of[p]] for p in path]
+    assert all(a <= b + 1e-9 for a, b in zip(arr, arr[1:]))
+
+
+def test_required_time_backward_consistency():
+    nl = generate_preset("xgate", scale=0.25)
+    spec = DESIGN_PRESETS["xgate"].scaled(0.25)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=2000.0)
+    # Worst node slack equals worst endpoint slack.
+    reachable = np.isfinite(res.required)
+    assert res.node_slack[reachable].min() == pytest.approx(res.wns, abs=1e-6)
+    # Node slack on the critical path equals WNS everywhere.
+    ep = min(res.endpoint_slack, key=res.endpoint_slack.get)
+    for pid in res.critical_path(ep):
+        node = g.node_of[pid]
+        assert res.node_slack[node] <= res.wns + 1e-6
+
+
+def test_routed_lengths_change_timing():
+    nl = generate_preset("xgate", scale=0.25)
+    spec = DESIGN_PRESETS["xgate"].scaled(0.25)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    g = build_timing_graph(nl)
+    pre = PreRouteEstimator(nl, pl)
+    res1 = run_sta(g, pre, clock_period=1000.0)
+    routed = RoutedLengths()
+    for drv, snk in nl.net_edges():
+        routed.set_length(drv, snk, 2.0 * pre.length(drv, snk) + 5.0)
+    res2 = run_sta(g, routed, clock_period=1000.0)
+    assert res2.max_arrival > res1.max_arrival
+
+
+def test_net_and_cell_edge_delays_reported():
+    nl, pl = toy_setup()
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=100.0)
+    assert len(res.net_edge_delay) == sum(1 for _ in nl.net_edges())
+    assert len(res.cell_edge_delay) == sum(1 for _ in nl.cell_edges())
+    assert all(d >= 0 for d in res.net_edge_delay.values())
+    assert all(d > 0 for d in res.cell_edge_delay.values())
+
+
+def test_sta_deterministic():
+    nl = generate_preset("xgate", scale=0.2)
+    spec = DESIGN_PRESETS["xgate"].scaled(0.2)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    g = build_timing_graph(nl)
+    r1 = run_sta(g, PreRouteEstimator(nl, pl), clock_period=500.0)
+    r2 = run_sta(g, PreRouteEstimator(nl, pl), clock_period=500.0)
+    np.testing.assert_array_equal(r1.arrival, r2.arrival)

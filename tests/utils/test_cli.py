@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for cmd in ("flow", "report", "dataset", "train", "predict",
+                "table1", "table2", "table3"):
+        args = parser.parse_args([cmd] + (
+            ["xgate"] if cmd in ("flow", "report", "predict") else []))
+        assert args.command == cmd
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_flow_runs(capsys):
+    assert main(["flow", "xgate", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "sign-off" in out
+    assert "replaced" in out
+
+
+def test_cli_flow_no_opt(capsys):
+    assert main(["flow", "xgate", "--scale", "0.2", "--no-opt"]) == 0
+    out = capsys.readouterr().out
+    assert "optimizer" not in out
+
+
+def test_cli_report_runs(capsys):
+    assert main(["report", "xgate", "--scale", "0.2", "--paths", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Endpoint:") == 2
+    assert "WNS" in out
+
+
+def test_cli_train_and_predict(tmp_path, capsys, monkeypatch):
+    # Patch the training design list down to one tiny design for speed.
+    import repro.cli as cli_mod
+    import repro.netlist as netlist_mod
+
+    monkeypatch.setattr("repro.cli.DEFAULT_CACHE", tmp_path)
+    small = netlist_mod.DESIGN_PRESETS["xgate"].scaled(0.2)
+    monkeypatch.setitem(netlist_mod.DESIGN_PRESETS, "xgate", small)
+    monkeypatch.setattr("repro.netlist.TRAIN_DESIGNS", ("xgate",))
+
+    model_path = tmp_path / "m.pkl"
+    assert main(["train", "--variant", "gnn", "--epochs", "3",
+                 "--out", str(model_path), "--cache", str(tmp_path)]) == 0
+    assert model_path.exists()
+    assert main(["predict", "xgate", "--model", str(model_path),
+                 "--cache", str(tmp_path), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted arrival" in out

@@ -1,0 +1,24 @@
+"""Tests for the logging helper."""
+
+import logging
+
+from repro.utils import get_logger
+
+
+def test_logger_namespaced_under_repro():
+    assert get_logger("foo").name == "repro.foo"
+    assert get_logger("repro.bar").name == "repro.bar"
+
+
+def test_root_handler_configured_once():
+    get_logger("a")
+    get_logger("b")
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+
+
+def test_child_loggers_propagate_to_root():
+    logger = get_logger("child.module")
+    assert logger.propagate
+    assert logging.getLogger("repro").level == logging.WARNING \
+        or logging.getLogger("repro").level == logging.INFO

@@ -1,0 +1,37 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import seed_from_name, spawn_rng
+
+
+def test_seed_is_stable():
+    assert seed_from_name("netlist/rocket") == seed_from_name("netlist/rocket")
+
+
+def test_seed_differs_by_name():
+    assert seed_from_name("a") != seed_from_name("b")
+
+
+def test_seed_differs_by_base_seed():
+    assert seed_from_name("a", 0) != seed_from_name("a", 1)
+
+
+def test_spawn_rng_reproducible():
+    a = spawn_rng("x").normal(size=5)
+    b = spawn_rng("x").normal(size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rng_independent_streams():
+    a = spawn_rng("x").normal(size=5)
+    b = spawn_rng("y").normal(size=5)
+    assert not np.allclose(a, b)
+
+
+@given(st.text(max_size=50), st.integers(min_value=0, max_value=2**31))
+def test_seed_in_valid_range(name, base):
+    seed = seed_from_name(name, base)
+    assert 0 <= seed < 2**63

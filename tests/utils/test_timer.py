@@ -1,0 +1,48 @@
+"""Tests for stopwatches."""
+
+import time
+
+from repro.utils import StageTimer, Stopwatch
+
+
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    with sw.running():
+        time.sleep(0.01)
+    first = sw.elapsed
+    with sw.running():
+        time.sleep(0.01)
+    assert sw.elapsed > first >= 0.01
+
+
+def test_stage_timer_records_stages():
+    timer = StageTimer()
+    with timer.stage("a"):
+        time.sleep(0.005)
+    with timer.stage("b"):
+        pass
+    assert timer.get("a") >= 0.005
+    assert timer.get("b") >= 0.0
+    assert timer.get("missing") == 0.0
+    assert timer.total() == timer.get("a") + timer.get("b")
+
+
+def test_stage_timer_accumulates_same_stage():
+    timer = StageTimer()
+    with timer.stage("x"):
+        time.sleep(0.003)
+    first = timer.get("x")
+    with timer.stage("x"):
+        time.sleep(0.003)
+    assert timer.get("x") > first
+
+
+def test_stage_timer_records_on_exception():
+    timer = StageTimer()
+    try:
+        with timer.stage("fail"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert timer.get("fail") >= 0.0
+    assert "fail" in timer.stages

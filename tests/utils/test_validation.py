@@ -1,0 +1,25 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.utils import require, require_positive
+
+
+def test_require_passes():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValueError, match="broken invariant"):
+        require(False, "broken invariant")
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e-9])
+def test_require_positive_accepts(value):
+    require_positive(value, "v")
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_require_positive_rejects(value):
+    with pytest.raises(ValueError, match="v must be positive"):
+        require_positive(value, "v")
