@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the golden flow-regression file used by
+``tests/integration/test_golden_flow.py``.
+
+Run from the repository root after an *intentional* change to flow
+numerics (placer, optimizer, router, STA, library characterization)::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+then inspect the diff of ``tests/integration/golden_xgate.json`` and
+commit it together with the change that moved the numbers.  The test
+failing without such an intentional change means a real regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "integration" \
+    / "golden_xgate.json"
+
+#: Must match the test exactly.
+DESIGN = "xgate"
+SCALE = 0.25
+SEED = 0
+N_SAMPLED = 5
+
+
+def compute_golden() -> dict:
+    from repro.flow import FlowConfig, run_flow
+
+    flow = run_flow(DESIGN, FlowConfig(scale=SCALE, base_seed=SEED))
+    sta = flow.signoff_sta
+    pins = sorted(sta.endpoint_slack)
+    step = max(1, len(pins) // N_SAMPLED)
+    sampled = pins[::step][:N_SAMPLED]
+    return {
+        "design": DESIGN,
+        "scale": SCALE,
+        "seed": SEED,
+        "clock_period": flow.clock_period,
+        "n_endpoints": len(pins),
+        "wns": sta.wns,
+        "tns": sta.tns,
+        "sampled_endpoint_slack": {str(p): sta.endpoint_slack[p]
+                                   for p in sampled},
+    }
+
+
+def main() -> int:
+    golden = compute_golden()
+    GOLDEN.write_text(json.dumps(golden, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN}")
+    for key in ("clock_period", "wns", "tns"):
+        print(f"  {key} = {golden[key]:.6f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

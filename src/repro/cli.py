@@ -7,6 +7,7 @@ report    sign-off timing report (report_timing style)
 dataset   build / refresh the cached dataset
 train     train a predictor and save it
 predict   load a predictor and rank a design's endpoints
+profile   trace one design end-to-end; per-stage runtime report
 table1/2/3  regenerate a paper table
 """
 
@@ -58,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
                       default=Path("data/predictor.pkl"))
     p_pr.add_argument("--top", type=int, default=10)
     p_pr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one design end-to-end with tracing on; report per-stage "
+             "runtime (Table III shape)")
+    p_prof.add_argument("--design", default="xgate",
+                        help="preset design to profile (default: xgate, "
+                             "the smallest)")
+    p_prof.add_argument("--scale", type=float, default=None,
+                        help="shrink the preset design (e.g. 0.25)")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--epochs", type=int, default=2,
+                        help="tiny training run so inference is realistic")
+    p_prof.add_argument("--trace-out", type=Path,
+                        default=Path("data/trace.jsonl"),
+                        help="JSON-lines trace output path")
+    p_prof.add_argument("--report-out", type=Path, default=None,
+                        help="also write the aggregated report as JSON")
 
     for table in ("table1", "table2", "table3"):
         p_t = sub.add_parser(table, help=f"regenerate paper {table}")
@@ -153,6 +172,44 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """End-to-end flow + predictor under tracing; aggregated stage report.
+
+    Covers every reference-flow stage (place, opt, route, sta) and both
+    predictor stages (pre, infer); the printed table is the trace-derived
+    Table III for the profiled design.
+    """
+    import json
+
+    from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+    from repro.flow import FlowConfig, run_flow
+    from repro.obs import aggregate_trace, configure_tracing, get_metrics
+
+    tracer = configure_tracing(enabled=True, jsonl_path=str(args.trace_out))
+    flow = run_flow(args.design, FlowConfig(
+        scale=args.scale, base_seed=args.seed))
+    predictor = TimingPredictor(
+        model_config=ModelConfig(variant="full"),
+        trainer_config=TrainerConfig(epochs=args.epochs))
+    sample = predictor.preprocess(flow, seed=args.seed)
+    predictor.fit([sample])
+    predictor.predict(sample)
+
+    report = aggregate_trace(tracer.events())
+    print(report.format())
+    print()
+    print("metrics snapshot:")
+    for name, value in get_metrics().snapshot().items():
+        print(f"  {name} = {value}")
+    print(f"\ntrace: {args.trace_out} ({report.n_events} events)")
+    if args.report_out is not None:
+        args.report_out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report: {args.report_out}")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.eval.experiments import format_table1, run_table1
     from repro.netlist import DESIGN_PRESETS
@@ -199,6 +256,7 @@ COMMANDS = {
     "dataset": cmd_dataset,
     "train": cmd_train,
     "predict": cmd_predict,
+    "profile": cmd_profile,
     "table1": cmd_table1,
     "table2": cmd_table2,
     "table3": cmd_table3,

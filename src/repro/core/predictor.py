@@ -8,7 +8,6 @@ instead of running optimization + routing + sign-off STA (Table III).
 from __future__ import annotations
 
 import pickle
-import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -19,6 +18,7 @@ from repro.core.trainer import LabelNorm, Trainer, TrainerConfig
 from repro.flow import FlowResult
 from repro.ml.sample import DesignSample
 from repro.nn import load_state_dict, state_dict
+from repro.obs import get_metrics, get_tracer
 from repro.utils import require
 
 
@@ -49,19 +49,23 @@ class TimingPredictor:
         """Sign-off endpoint arrival prediction, keyed by endpoint pin id.
 
         Inference wall-clock is recorded in ``infer_times[sample.name]``
-        (the "infer" column of Table III).
+        (the "infer" column of Table III) via a ``model.infer`` span.
         """
-        t0 = time.perf_counter()
-        pred = self.trainer.predict(sample)
-        self.infer_times[sample.name] = time.perf_counter() - t0
+        pred = self._timed_infer(sample)
         return {int(p): float(v)
                 for p, v in zip(sample.endpoint_pins, pred)}
 
     def predict_array(self, sample: DesignSample) -> np.ndarray:
         """Prediction aligned with ``sample.y`` (evaluation convenience)."""
-        t0 = time.perf_counter()
-        pred = self.trainer.predict(sample)
-        self.infer_times[sample.name] = time.perf_counter() - t0
+        return self._timed_infer(sample)
+
+    def _timed_infer(self, sample: DesignSample) -> np.ndarray:
+        sp = get_tracer().span("model.infer", stage="infer",
+                               design=sample.name)
+        with sp:
+            pred = self.trainer.predict(sample)
+        self.infer_times[sample.name] = sp.duration
+        get_metrics().counter("model.inferences").inc()
         return pred
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.fusion import RestructureTolerantModel
 from repro.ml.sample import DesignSample
 from repro.nn import Adam, mse_loss
+from repro.obs import get_metrics, get_tracer
 from repro.utils import get_logger, require, spawn_rng
 
 logger = get_logger("core.trainer")
@@ -79,19 +80,26 @@ class Trainer:
         targets = [self.norm.normalize(s.y, s.clock_period)
                    for s in train_samples]
         final: Dict[str, float] = {}
+        metrics = get_metrics()
         for epoch in range(self.config.epochs):
-            order = rng.permutation(len(train_samples))
-            epoch_loss = 0.0
-            for idx in order:
-                sample = train_samples[idx]
-                pred = self.model.forward(sample)
-                loss, grad = mse_loss(pred, targets[idx])
-                optimizer.zero_grad()
-                self.model.backward(grad)
-                optimizer.step()
-                epoch_loss += loss
-                final[sample.name] = loss
-            self.history.append(epoch_loss / len(train_samples))
+            with get_tracer().span("trainer.epoch", epoch=epoch) as sp:
+                order = rng.permutation(len(train_samples))
+                epoch_loss = 0.0
+                for idx in order:
+                    sample = train_samples[idx]
+                    pred = self.model.forward(sample)
+                    loss, grad = mse_loss(pred, targets[idx])
+                    optimizer.zero_grad()
+                    self.model.backward(grad)
+                    optimizer.step()
+                    epoch_loss += loss
+                    final[sample.name] = loss
+                self.history.append(epoch_loss / len(train_samples))
+                sp.set(loss=self.history[-1])
+            metrics.counter("trainer.steps").inc(len(train_samples))
+            metrics.gauge("trainer.epoch_loss").set(self.history[-1])
+            metrics.histogram("trainer.epoch_loss_hist").observe(
+                self.history[-1])
             if (epoch + 1) % self.config.log_every == 0:
                 logger.info("epoch %d: mean loss %.4f", epoch + 1,
                             self.history[-1])

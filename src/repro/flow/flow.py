@@ -103,7 +103,7 @@ def run_flow(design: str, config: FlowConfig = FlowConfig()) -> FlowResult:
 def run_flow_on_spec(spec: DesignSpec,
                      config: FlowConfig = FlowConfig()) -> FlowResult:
     """Run the full reference flow on an explicit :class:`DesignSpec`."""
-    timer = StageTimer()
+    timer = StageTimer(design=spec.name)
 
     netlist = generate_netlist(spec, config.base_seed)
     die = build_die(netlist, spec, config.base_seed)

@@ -8,7 +8,6 @@ generation are timed into ``sample.preprocess_time``.
 from __future__ import annotations
 
 import pickle
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -19,6 +18,7 @@ from repro.flow import FlowConfig, FlowResult, run_flow
 from repro.ml.features import node_features
 from repro.ml.sample import DesignSample, LevelPlan
 from repro.netlist import DESIGN_PRESETS
+from repro.obs import get_metrics, get_tracer
 from repro.timing import CELL_OUT, NET_SINK, build_timing_graph
 from repro.utils import get_logger
 
@@ -38,9 +38,11 @@ def build_level_plans(graph) -> List[LevelPlan]:
     for s, d in zip(graph.net_edge_src, graph.net_edge_dst):
         edge_of_sink[int(d)] = int(s)
 
+    width_hist = get_metrics().histogram("gnn.level_width")
     plans: List[LevelPlan] = []
     for lvl in range(1, graph.n_levels):
         nodes = graph.levels[lvl]
+        width_hist.observe(len(nodes))
         net_nodes = nodes[graph.kind[nodes] == NET_SINK]
         net_drivers = np.array([edge_of_sink[int(v)] for v in net_nodes],
                                dtype=np.int64)
@@ -66,12 +68,13 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
 
     # --- Timed preprocessing (the "pre" column of Table III): graph
     # construction, levelization, features, critical-region masks.
-    t0 = time.perf_counter()
-    graph = build_timing_graph(nl)
-    plans = build_level_plans(graph)
-    x_cell, x_net = node_features(nl, placement, graph)
-    masks = build_endpoint_masks(nl, placement, graph, map_bins, seed)
-    preprocess_time = time.perf_counter() - t0
+    sp = get_tracer().span("model.pre", stage="pre", design=flow.name)
+    with sp:
+        graph = build_timing_graph(nl)
+        plans = build_level_plans(graph)
+        x_cell, x_net = node_features(nl, placement, graph)
+        masks = build_endpoint_masks(nl, placement, graph, map_bins, seed)
+    preprocess_time = sp.duration
 
     endpoint_pins = np.array([int(graph.pin_ids[v]) for v in graph.endpoints])
     labels = flow.endpoint_labels()

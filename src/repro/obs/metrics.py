@@ -1,0 +1,180 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Stdlib-only.  Instruments record *what happened how often / how large*;
+the tracer (``repro.obs.trace``) records *when and inside what*.  Metric
+names are dotted paths, e.g.::
+
+    sta.runs                       counter   full STA sweeps
+    sta.nldm_lookups               counter   NLDM arcs evaluated
+    sta.incremental.partial        counter   incremental refreshes
+    sta.incremental.full_rebuilds  counter   structural rebuilds
+    sta.incremental.start_level    histogram resume level per refresh
+    opt.moves.<kind>               counter   accepted moves by kind
+    opt.moves.accepted             counter   all accepted moves
+    opt.gate.rejected              counter   layout-gate rejections
+    trainer.epoch_loss             gauge     latest mean epoch loss
+    trainer.steps                  counter   optimizer steps
+    gnn.level_width                histogram nodes per GNN level
+
+Histograms keep raw observations (bounded by ``max_samples`` reservoir
+truncation) and summarize as count/mean/p50/p95/max.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Union
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Distribution of observations with percentile summaries.
+
+    Keeps at most ``max_samples`` raw values; beyond that, new values
+    overwrite a rotating slot (simple reservoir) so memory stays bounded
+    on hot paths while count/total stay exact.
+    """
+
+    __slots__ = ("name", "max_samples", "_values", "_count", "_total",
+                 "_max", "_next", "_lock")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self._values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = float("-inf")
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            if len(self._values) < self.max_samples:
+                self._values.append(value)
+            else:
+                self._values[self._next] = value
+                self._next = (self._next + 1) % self.max_samples
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over retained samples (q in [0, 100])."""
+        with self._lock:
+            if not self._values:
+                return float("nan")
+            ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """count / total / mean / p50 / p95 / max in one dict."""
+        with self._lock:
+            count, total, mx = self._count, self._total, self._max
+        if count == 0:
+            nan = float("nan")
+            return {"count": 0, "total": 0.0, "mean": nan,
+                    "p50": nan, "p95": nan, "max": nan}
+        return {
+            "count": count,
+            "total": total,
+            "mean": total / count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": mx,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as plain values (histograms as summaries)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        out: Dict[str, Any] = {}
+        for name, inst in sorted(items):
+            out[name] = (inst.summary() if isinstance(inst, Histogram)
+                         else inst.value)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY

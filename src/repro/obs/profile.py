@@ -1,0 +1,176 @@
+"""Trace aggregation: from raw span events to the Table III stage report.
+
+The paper's Table III compares, per design, the reference flow's
+opt + route + sign-off-STA wall-clock against the predictor's
+preprocess + inference wall-clock.  The instrumented code emits exactly
+those stages as spans:
+
+=================  =======================  ===========================
+span name          emitted by               Table III column
+=================  =======================  ===========================
+``flow.place``     ``StageTimer("place")``  (context only)
+``flow.opt``       ``StageTimer("opt")``    flow "opt"
+``flow.route``     ``StageTimer("route")``  flow "route"
+``flow.sta``       ``StageTimer("sta")``    flow "sta"
+``model.pre``      ``ml.dataset``           model "pre"
+``model.infer``    ``core.predictor``       model "infer"
+=================  =======================  ===========================
+
+so a recorded trace — in memory or a JSONL file — is sufficient to
+regenerate the runtime table: :func:`aggregate_trace` groups span events
+by name and by ``attrs.design``, and :meth:`ProfileReport.format`
+renders both the per-stage totals and the per-design flow-vs-model
+comparison with speedups.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Union
+
+#: Reference-flow stages that enter the Table III flow total.
+FLOW_STAGES = ("place", "opt", "route", "sta")
+#: Predictor stages that enter the Table III model total.
+MODEL_STAGES = ("pre", "infer")
+
+
+@dataclass
+class StageStat:
+    """Aggregate of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total_s += duration
+        if duration > self.max_s:
+            self.max_s = duration
+
+
+@dataclass
+class ProfileReport:
+    """Per-span-name and per-design runtime aggregation of one trace."""
+
+    stages: Dict[str, StageStat] = field(default_factory=dict)
+    #: design → span name → total seconds
+    designs: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    n_events: int = 0
+
+    # ------------------------------------------------------------------
+    def stage_seconds(self, design: str, stage: str) -> float:
+        """Seconds spent in flow/model *stage* for *design* (0 if unseen)."""
+        per = self.designs.get(design, {})
+        return per.get(f"flow.{stage}", 0.0) + per.get(f"model.{stage}", 0.0)
+
+    def table3_rows(self) -> List[Dict[str, Any]]:
+        """Per-design Table III rows derived purely from the trace."""
+        rows = []
+        for design in sorted(self.designs):
+            flow_s = {s: self.stage_seconds(design, s) for s in FLOW_STAGES}
+            model_s = {s: self.stage_seconds(design, s) for s in MODEL_STAGES}
+            flow_total = sum(flow_s[s] for s in ("opt", "route", "sta"))
+            model_total = sum(model_s.values())
+            rows.append({
+                "design": design,
+                **{f"flow.{s}": flow_s[s] for s in FLOW_STAGES},
+                **{f"model.{s}": model_s[s] for s in MODEL_STAGES},
+                "flow_total": flow_total,
+                "model_total": model_total,
+                "speedup": flow_total / model_total if model_total else 0.0,
+            })
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable aggregate (for ``repro profile --report-out``)."""
+        return {
+            "n_events": self.n_events,
+            "stages": {
+                name: {"count": st.count, "total_s": st.total_s,
+                       "mean_s": st.mean_s, "max_s": st.max_s}
+                for name, st in sorted(self.stages.items())
+            },
+            "designs": {d: dict(sorted(per.items()))
+                        for d, per in sorted(self.designs.items())},
+            "table3": self.table3_rows(),
+        }
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Human-readable per-stage + per-design runtime report."""
+        lines = ["per-span runtime (aggregated over the trace)",
+                 f"{'span':<28}{'count':>7}{'total s':>12}"
+                 f"{'mean s':>12}{'max s':>12}"]
+        lines.append("-" * len(lines[-1]))
+        for name in sorted(self.stages):
+            st = self.stages[name]
+            lines.append(f"{name:<28}{st.count:>7}{st.total_s:>12.4f}"
+                         f"{st.mean_s:>12.4f}{st.max_s:>12.4f}")
+        rows = self.table3_rows()
+        if rows:
+            lines.append("")
+            lines.append("per-design runtime, Table III shape "
+                         "(flow opt+route+sta vs. model pre+infer)")
+            header = (f"{'design':<12}" + "".join(
+                f"{s:>9}" for s in FLOW_STAGES)
+                + f"{'fl.tot':>9}"
+                + "".join(f"{s:>9}" for s in MODEL_STAGES)
+                + f"{'md.tot':>9}{'speedup':>9}")
+            lines.append(header)
+            lines.append("-" * len(header))
+            for r in rows:
+                lines.append(
+                    f"{r['design']:<12}"
+                    + "".join(f"{r['flow.' + s]:>9.3f}" for s in FLOW_STAGES)
+                    + f"{r['flow_total']:>9.3f}"
+                    + "".join(f"{r['model.' + s]:>9.4f}"
+                              for s in MODEL_STAGES)
+                    + f"{r['model_total']:>9.4f}"
+                    + f"{r['speedup']:>8.1f}x")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file back into event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def aggregate_trace(
+        events: Union[str, Iterable[Dict[str, Any]]]) -> ProfileReport:
+    """Aggregate span events (or a JSONL path) into a :class:`ProfileReport`.
+
+    Only ``type == "span"`` events contribute runtime; instant events
+    (logs) are counted in ``n_events`` but carry no duration.
+    """
+    if isinstance(events, str):
+        events = load_trace(events)
+    report = ProfileReport()
+    for ev in events:
+        report.n_events += 1
+        if ev.get("type") != "span":
+            continue
+        name = ev["name"]
+        dur = float(ev.get("dur", 0.0))
+        stat = report.stages.get(name)
+        if stat is None:
+            stat = report.stages[name] = StageStat(name)
+        stat.add(dur)
+        design = (ev.get("attrs") or {}).get("design")
+        if design is not None:
+            per = report.designs.setdefault(str(design), {})
+            per[name] = per.get(name, 0.0) + dur
+    return report

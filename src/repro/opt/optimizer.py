@@ -25,6 +25,7 @@ from typing import Optional, Set
 import numpy as np
 
 from repro.netlist import Netlist
+from repro.obs import get_metrics, get_tracer
 from repro.opt.config import OptimizerConfig
 from repro.opt.moves import (
     clone_driver,
@@ -59,15 +60,19 @@ class TimingOptimizer:
     def run(self, clock_period: float) -> OptReport:
         """Run all optimization passes; returns the move/replacement report."""
         report = OptReport(design=self.netlist.name)
-        for _ in range(self.config.max_passes):
-            graph = build_timing_graph(self.netlist)
-            sta = run_sta(graph, PreRouteEstimator(self.netlist, self.placement),
-                          clock_period)
-            report.wns_trajectory.append(sta.wns)
-            report.tns_trajectory.append(sta.tns)
-            changed = self._repair_pass(sta, report)
-            changed |= self._rewrite_sweep(sta, report)
-            self._refresh_free_space()
+        for pass_no in range(self.config.max_passes):
+            with get_tracer().span("opt.pass", design=self.netlist.name,
+                                   pass_no=pass_no) as sp:
+                graph = build_timing_graph(self.netlist)
+                sta = run_sta(graph,
+                              PreRouteEstimator(self.netlist, self.placement),
+                              clock_period)
+                report.wns_trajectory.append(sta.wns)
+                report.tns_trajectory.append(sta.tns)
+                sp.set(wns=sta.wns, tns=sta.tns)
+                changed = self._repair_pass(sta, report)
+                changed |= self._rewrite_sweep(sta, report)
+                self._refresh_free_space()
             if not changed:
                 break
         # Area/power recovery runs once, after timing is repaired — as in
@@ -118,12 +123,15 @@ class TimingOptimizer:
         space = self._free_space_at(x, y)
         floor = self.config.min_free_space
         if space <= floor:
-            return False
-        if space >= 2.5 * floor:
-            return True
-        # Marginal band: acceptance ramps from 0 at the floor to 1.
-        return bool(self.rng.random()
-                    < (space - floor) / (1.5 * floor))
+            ok = False
+        elif space >= 2.5 * floor:
+            ok = True
+        else:
+            # Marginal band: acceptance ramps from 0 at the floor to 1.
+            ok = bool(self.rng.random() < (space - floor) / (1.5 * floor))
+        get_metrics().counter(
+            "opt.gate.accepted" if ok else "opt.gate.rejected").inc()
+        return ok
 
     # ------------------------------------------------------------------
     # Repair

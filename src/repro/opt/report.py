@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
 from repro.netlist import Netlist
+from repro.obs import get_metrics
 
 Edge = Tuple[int, int]
 
@@ -32,6 +33,9 @@ class OptReport:
 
     def count(self, move: str, n: int = 1) -> None:
         self.moves[move] = self.moves.get(move, 0) + n
+        metrics = get_metrics()
+        metrics.counter(f"opt.moves.{move}").inc(n)
+        metrics.counter("opt.moves.accepted").inc(n)
 
     @property
     def net_replaced_ratio(self) -> float:

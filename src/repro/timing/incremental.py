@@ -20,6 +20,7 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.netlist import Netlist
+from repro.obs import get_metrics, get_tracer
 from repro.placement import Placement
 from repro.timing.graph import NET_SINK, TimingGraph, build_timing_graph
 from repro.timing.nldm import batch_nldm_for
@@ -170,7 +171,9 @@ class IncrementalSTA:
         """Full rebuild (required after structural netlist edits)."""
         self._dirty.clear()
         self.full_rebuilds += 1
-        self._build()
+        with get_tracer().span("sta.rebuild", design=self.netlist.name):
+            self._build()
+        get_metrics().counter("sta.incremental.full_rebuilds").inc()
         return self.result
 
     # ------------------------------------------------------------------
@@ -181,11 +184,16 @@ class IncrementalSTA:
         if not self._dirty:
             return self.result
         start = max(1, int(min(self.graph.level[v] for v in self._dirty)))
-        self._recompute_wire_terms()
-        self._sweep(start_level=start)
-        self.result = self._package()
+        with get_tracer().span("sta.refresh", design=self.netlist.name,
+                               start_level=start):
+            self._recompute_wire_terms()
+            self._sweep(start_level=start)
+            self.result = self._package()
         self._dirty.clear()
         self.partial_updates += 1
+        metrics = get_metrics()
+        metrics.counter("sta.incremental.partial").inc()
+        metrics.histogram("sta.incremental.start_level").observe(start)
         return self.result
 
     def _sweep(self, start_level: int) -> None:

@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.netlist import Netlist
+from repro.obs import get_metrics, get_tracer
 from repro.timing.constraints import TimingConstraints
 from repro.timing.graph import CELL_OUT, NET_SINK, SOURCE, TimingGraph
 from repro.timing.nldm import batch_nldm_for
@@ -50,16 +51,25 @@ class STAResult:
 
     @property
     def wns(self) -> float:
-        """Worst negative slack (ps); positive if all endpoints meet timing."""
+        """Worst negative slack (ps); positive if all endpoints meet timing.
+
+        NaN when the design has no timing endpoints (no flip-flop D pins
+        and no primary outputs) — there is no slack to report.
+        """
+        if not self.endpoint_slack:
+            return float("nan")
         return min(self.endpoint_slack.values())
 
     @property
     def tns(self) -> float:
-        """Total negative slack (ps, ≤ 0)."""
+        """Total negative slack (ps, ≤ 0); 0.0 with no endpoints."""
         return sum(min(0.0, s) for s in self.endpoint_slack.values())
 
     @property
     def max_arrival(self) -> float:
+        """Latest endpoint arrival (ps); NaN when there are no endpoints."""
+        if not self.endpoint_arrival:
+            return float("nan")
         return max(self.endpoint_arrival.values())
 
     def critical_path(self, endpoint_pin: int) -> List[int]:
@@ -81,7 +91,24 @@ def run_sta(graph: TimingGraph, wires: WireLengthProvider,
     ``constraints`` optionally adds SDC-style input/output delays; its
     clock period, if provided, must agree with *clock_period* (pass
     ``constraints.clock_period`` explicitly to avoid surprises).
+
+    Each run emits an ``sta.run`` tracer span and bumps the ``sta.runs``
+    / ``sta.nldm_lookups`` counters.  The instrumentation lives in this
+    wrapper so :func:`_run_sta_impl` stays an uninstrumented baseline for
+    the observability overhead benchmark.
     """
+    with get_tracer().span("sta.run", design=graph.netlist.name,
+                           n_nodes=graph.n_nodes):
+        result = _run_sta_impl(graph, wires, clock_period, constraints)
+    metrics = get_metrics()
+    metrics.counter("sta.runs").inc()
+    metrics.counter("sta.nldm_lookups").inc(len(graph.cell_edge_src))
+    return result
+
+
+def _run_sta_impl(graph: TimingGraph, wires: WireLengthProvider,
+                  clock_period: float,
+                  constraints: "TimingConstraints" = None) -> STAResult:
     nl = graph.netlist
     lib = nl.library
     nldm = batch_nldm_for(lib)

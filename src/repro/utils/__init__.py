@@ -2,7 +2,7 @@
 
 from repro.utils.rng import seed_from_name, spawn_rng
 from repro.utils.timer import Stopwatch, StageTimer
-from repro.utils.log import get_logger
+from repro.utils.log import configure_logging, get_logger
 from repro.utils.validation import require, require_positive
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "spawn_rng",
     "Stopwatch",
     "StageTimer",
+    "configure_logging",
     "get_logger",
     "require",
     "require_positive",

@@ -1,18 +1,86 @@
-"""Lightweight logging configuration shared across the package."""
+"""Lightweight logging configuration shared across the package.
+
+Invariants (locked down in ``tests/utils/test_log.py``):
+
+* Repeated configuration — any number of ``get_logger`` /
+  ``configure_logging`` calls, including under test runners that attach
+  their own handlers to the ``repro`` logger — never duplicates the
+  package's handler.  Our handler is tagged (``_repro_managed``) and
+  de-duplicated on every call.
+* The level defaults to ``WARNING`` and is overridable with the
+  ``REPRO_LOG_LEVEL`` environment variable (or an explicit ``level=``).
+* Every record is also routed into the tracer's event sink
+  (:class:`repro.obs.trace.TraceLogHandler`), so enabled traces carry
+  the log lines nested under the spans that produced them.
+"""
 
 from __future__ import annotations
 
 import logging
+import os
+from typing import Optional, Union
+
+from repro.obs.trace import TraceLogHandler
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
 
 
-def get_logger(name: str) -> logging.Logger:
-    """Return a package logger; configures a stream handler once."""
+class _ReproLogHandler(logging.StreamHandler):
+    """Stream handler that also forwards records to the tracer."""
+
+    _repro_managed = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        self._trace = TraceLogHandler()
+
+    def emit(self, record: logging.LogRecord) -> None:
+        super().emit(record)
+        self._trace.emit(record)
+
+
+def _resolve_level(level: Optional[Union[int, str]]) -> int:
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):  # unknown name → safe default
+            resolved = logging.WARNING
+        return resolved
+    return int(level)
+
+
+def configure_logging(level: Optional[Union[int, str]] = None,
+                      force: bool = False) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger; idempotent.
+
+    Keeps exactly one managed handler no matter how often it is called.
+    ``force=True`` recreates the handler and re-resolves the level (used
+    by tests exercising ``REPRO_LOG_LEVEL``); otherwise an existing
+    handler and level are left untouched.
+    """
     root = logging.getLogger("repro")
-    if not root.handlers:
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
-        root.addHandler(handler)
-        root.setLevel(logging.WARNING)
-    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")
+    managed = [h for h in root.handlers
+               if getattr(h, "_repro_managed", False)]
+    if force:
+        for h in managed:
+            root.removeHandler(h)
+        managed = []
+    elif len(managed) > 1:          # never keep duplicates
+        for h in managed[1:]:
+            root.removeHandler(h)
+        managed = managed[:1]
+    if not managed:
+        root.addHandler(_ReproLogHandler())
+        root.setLevel(_resolve_level(level))
+    elif level is not None:
+        root.setLevel(_resolve_level(level))
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a package logger; configures the shared handler once."""
+    configure_logging()
+    return logging.getLogger(name if name.startswith("repro")
+                             else f"repro.{name}")

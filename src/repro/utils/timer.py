@@ -1,11 +1,20 @@
-"""Wall-clock stopwatches used for the runtime comparison (Table III)."""
+"""Wall-clock stopwatches used for the runtime comparison (Table III).
+
+Since the observability layer landed, :class:`StageTimer` is a thin
+adapter over :mod:`repro.obs.trace`: each ``stage(...)`` block opens a
+``flow.<name>`` span (carrying ``stage`` and optional ``design`` attrs)
+and accumulates the span's measured duration into the legacy ``stages``
+dict.  Callers keep the old API; traces gain the stage structure.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -36,19 +45,25 @@ class StageTimer:
 
     The reference flow records ``place``, ``opt``, ``route`` and ``sta``
     stages; the predictor records ``pre`` (preprocessing) and ``infer``.
+    Each stage block is also emitted as a ``flow.<name>`` tracer span, so
+    a recorded trace can regenerate Table III (see ``repro.obs.profile``).
     """
 
     stages: Dict[str, float] = field(default_factory=dict)
+    design: Optional[str] = None   # tagged onto every emitted span
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        attrs = {"stage": name}
+        if self.design is not None:
+            attrs["design"] = self.design
+        sp = get_tracer().span(f"flow.{name}", **attrs)
+        sp.__enter__()
         try:
             yield
         finally:
-            self.stages[name] = self.stages.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            sp.__exit__(None, None, None)
+            self.stages[name] = self.stages.get(name, 0.0) + sp.duration
 
     def total(self) -> float:
         """Total time across all recorded stages."""

@@ -1,0 +1,72 @@
+"""Golden regression lockdown of the end-to-end flow numerics.
+
+``golden_xgate.json`` pins ``wns``, ``tns``, the derived clock period and
+five sampled endpoint slacks of the seeded small design.  Any drift in
+placer, optimizer, router, STA or library characterization trips this
+test.  After an *intentional* numerics change, regenerate with::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+and commit the updated JSON alongside the change (see the script's
+docstring).  The flow must also be run-to-run deterministic: two fresh
+runs from the same seed have to agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN = Path(__file__).parent / "golden_xgate.json"
+TOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_signoff_matches_golden(tiny_flow, golden):
+    # tiny_flow is run_flow("xgate", FlowConfig(scale=0.25)) — the golden
+    # configuration (scripts/regen_golden.py).
+    sta = tiny_flow.signoff_sta
+    assert tiny_flow.clock_period == pytest.approx(
+        golden["clock_period"], abs=TOL)
+    assert len(sta.endpoint_slack) == golden["n_endpoints"]
+    assert sta.wns == pytest.approx(golden["wns"], abs=TOL)
+    assert sta.tns == pytest.approx(golden["tns"], abs=TOL)
+    for pin_str, slack in golden["sampled_endpoint_slack"].items():
+        pid = int(pin_str)
+        assert pid in sta.endpoint_slack, f"endpoint {pid} disappeared"
+        assert sta.endpoint_slack[pid] == pytest.approx(slack, abs=TOL), \
+            f"endpoint {pid} slack drifted"
+
+
+def test_flow_is_deterministic(tiny_flow):
+    """A second fresh run from the same seed reproduces the first exactly."""
+    from repro.flow import FlowConfig, run_flow
+
+    rerun = run_flow("xgate", FlowConfig(scale=0.25))
+    first = tiny_flow.signoff_sta
+    second = rerun.signoff_sta
+    assert rerun.clock_period == tiny_flow.clock_period
+    assert second.endpoint_slack == first.endpoint_slack
+    assert second.endpoint_arrival == first.endpoint_arrival
+
+
+def test_golden_matches_regen_script(tiny_flow, golden):
+    """The checked-in file is exactly what the regen script would write."""
+    import sys
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+    try:
+        import regen_golden
+    finally:
+        sys.path.pop(0)
+    fresh = regen_golden.compute_golden()
+    assert fresh["n_endpoints"] == golden["n_endpoints"]
+    assert fresh["wns"] == pytest.approx(golden["wns"], abs=TOL)
+    assert set(fresh["sampled_endpoint_slack"]) == set(
+        golden["sampled_endpoint_slack"])

@@ -1,0 +1,96 @@
+"""Tests for counters, gauges and histogram summaries."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_metrics
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def test_counter_get_or_create_and_inc(registry):
+    c = registry.counter("sta.runs")
+    assert registry.counter("sta.runs") is c
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_gauge_last_write_wins(registry):
+    g = registry.gauge("trainer.epoch_loss")
+    g.set(3.0)
+    g.set(1.5)
+    assert g.value == 1.5
+
+
+def test_type_conflict_raises(registry):
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_histogram_empty_summary():
+    h = Histogram("h")
+    s = h.summary()
+    assert s["count"] == 0
+    assert math.isnan(s["p50"]) and math.isnan(s["max"])
+
+
+def test_histogram_summary_percentiles():
+    h = Histogram("lat")
+    for v in range(1, 101):          # 1..100
+        h.observe(float(v))
+    s = h.summary()
+    assert s["count"] == 100
+    assert s["total"] == pytest.approx(5050.0)
+    assert s["mean"] == pytest.approx(50.5)
+    assert s["max"] == 100.0
+    assert s["p50"] == pytest.approx(50.0, abs=1.0)
+    assert s["p95"] == pytest.approx(95.0, abs=1.0)
+
+
+def test_histogram_reservoir_keeps_exact_count_and_max():
+    h = Histogram("big", max_samples=64)
+    for v in range(1000):
+        h.observe(float(v))
+    s = h.summary()
+    assert s["count"] == 1000          # exact even past the reservoir
+    assert s["max"] == 999.0
+    assert len(h._values) == 64
+
+
+def test_histogram_thread_safety():
+    h = Histogram("conc")
+
+    def worker():
+        for _ in range(1000):
+            h.observe(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert h.count == 4000
+    assert h.summary()["total"] == pytest.approx(4000.0)
+
+
+def test_snapshot_mixes_kinds(registry):
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(0.5)
+    registry.histogram("c").observe(1.0)
+    snap = registry.snapshot()
+    assert snap["a"] == 2
+    assert snap["b"] == 0.5
+    assert snap["c"]["count"] == 1
+
+
+def test_global_registry_is_shared():
+    assert get_metrics() is get_metrics()

@@ -1,0 +1,117 @@
+"""Tests for trace aggregation into the Table III stage report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profile import FLOW_STAGES, MODEL_STAGES, aggregate_trace
+from repro.obs.trace import Tracer
+
+
+def _span(name, dur, design=None, **attrs):
+    if design is not None:
+        attrs["design"] = design
+    return {"type": "span", "name": name, "span_id": 1, "parent_id": None,
+            "thread": 0, "ts": 0.0, "dur": dur, "attrs": attrs}
+
+
+def synthetic_trace():
+    return [
+        _span("flow.place", 1.0, "jpeg", stage="place"),
+        _span("flow.opt", 4.0, "jpeg", stage="opt"),
+        _span("flow.route", 2.0, "jpeg", stage="route"),
+        _span("flow.sta", 1.0, "jpeg", stage="sta"),
+        _span("model.pre", 0.5, "jpeg", stage="pre"),
+        _span("model.infer", 0.2, "jpeg", stage="infer"),
+        _span("sta.run", 0.4, "jpeg"),
+        _span("sta.run", 0.6, "jpeg"),
+        {"type": "event", "name": "log", "span_id": 9, "parent_id": None,
+         "thread": 0, "ts": 0.0, "attrs": {"message": "x"}},
+    ]
+
+
+def test_aggregate_groups_by_name():
+    report = aggregate_trace(synthetic_trace())
+    assert report.n_events == 9
+    assert report.stages["sta.run"].count == 2
+    assert report.stages["sta.run"].total_s == pytest.approx(1.0)
+    assert report.stages["sta.run"].mean_s == pytest.approx(0.5)
+    assert report.stages["sta.run"].max_s == pytest.approx(0.6)
+
+
+def test_table3_rows_cover_all_stages():
+    report = aggregate_trace(synthetic_trace())
+    (row,) = report.table3_rows()
+    assert row["design"] == "jpeg"
+    for s in FLOW_STAGES:
+        assert row[f"flow.{s}"] > 0.0
+    for s in MODEL_STAGES:
+        assert row[f"model.{s}"] > 0.0
+    # Table III convention: flow total excludes place (it is paid by both
+    # the reference flow and the predictor's input generation).
+    assert row["flow_total"] == pytest.approx(7.0)
+    assert row["model_total"] == pytest.approx(0.7)
+    assert row["speedup"] == pytest.approx(10.0)
+
+
+def test_multiple_designs_aggregate_independently():
+    trace = synthetic_trace() + [
+        _span("flow.opt", 8.0, "sha3", stage="opt"),
+        _span("flow.route", 1.0, "sha3", stage="route"),
+        _span("flow.sta", 1.0, "sha3", stage="sta"),
+        _span("model.pre", 1.0, "sha3", stage="pre"),
+        _span("model.infer", 1.0, "sha3", stage="infer"),
+    ]
+    report = aggregate_trace(trace)
+    rows = {r["design"]: r for r in report.table3_rows()}
+    assert rows["sha3"]["flow_total"] == pytest.approx(10.0)
+    assert rows["sha3"]["speedup"] == pytest.approx(5.0)
+    assert rows["jpeg"]["speedup"] == pytest.approx(10.0)
+
+
+def test_aggregate_from_jsonl_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in synthetic_trace():
+            fh.write(json.dumps(ev) + "\n")
+    report = aggregate_trace(str(path))
+    assert report.stages["flow.opt"].total_s == pytest.approx(4.0)
+
+
+def test_format_lists_every_stage():
+    text = aggregate_trace(synthetic_trace()).format()
+    for name in ("flow.place", "flow.opt", "flow.route", "flow.sta",
+                 "model.pre", "model.infer", "speedup", "jpeg"):
+        assert name in text
+
+
+def test_to_dict_json_serializable():
+    report = aggregate_trace(synthetic_trace())
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["stages"]["flow.opt"]["total_s"] == pytest.approx(4.0)
+    assert payload["table3"][0]["design"] == "jpeg"
+
+
+def test_live_tracer_roundtrip_through_stage_timer():
+    """StageTimer spans + aggregate = the old stages dict, per design."""
+    from repro.utils.timer import StageTimer
+    import repro.utils.timer as timer_mod
+
+    tracer = Tracer(enabled=True)
+    old = timer_mod.get_tracer
+    timer_mod.get_tracer = lambda: tracer
+    try:
+        t = StageTimer(design="toy")
+        with t.stage("place"):
+            pass
+        with t.stage("sta"):
+            pass
+    finally:
+        timer_mod.get_tracer = old
+    report = aggregate_trace(tracer.events())
+    assert report.stage_seconds("toy", "place") == pytest.approx(
+        t.get("place"), abs=1e-4)
+    assert report.stage_seconds("toy", "sta") == pytest.approx(
+        t.get("sta"), abs=1e-4)

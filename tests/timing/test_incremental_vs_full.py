@@ -1,0 +1,105 @@
+"""Differential suite: incremental STA vs. full re-run after move sequences.
+
+Property-style lockdown of the optimizer's central invariant: after *each*
+edit in a seeded sequence of parameter-only moves (gate resizes and cell
+moves — the edits :class:`IncrementalSTA` claims to handle without a
+rebuild), every endpoint arrival and slack must match a from-scratch
+:func:`run_sta` to 1e-6.  Runs over three design presets so level
+structure, fanout profile and library usage all vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netlist import DESIGN_PRESETS, generate_netlist
+from repro.placement import build_die, legalize, place
+from repro.timing import PreRouteEstimator, build_timing_graph, run_sta
+from repro.timing.incremental import IncrementalSTA
+
+PRESETS = [("xgate", 0.25), ("steelcore", 0.25), ("chacha", 0.2)]
+N_MOVES = 8
+TOL = 1e-6
+
+
+def _make_design(name: str, scale: float):
+    spec = DESIGN_PRESETS[name].scaled(scale)
+    nl = generate_netlist(spec)
+    die = build_die(nl, spec)
+    pl = place(nl, die)
+    legalize(nl, pl)
+    return nl, pl
+
+
+def _full_sta(nl, pl, period):
+    return run_sta(build_timing_graph(nl), PreRouteEstimator(nl, pl), period)
+
+
+def _assert_matches_full(inc_result, full_result, context: str) -> None:
+    assert set(inc_result.endpoint_arrival) == set(
+        full_result.endpoint_arrival), context
+    for pid, arr in full_result.endpoint_arrival.items():
+        assert inc_result.endpoint_arrival[pid] == pytest.approx(
+            arr, abs=TOL), f"{context}: arrival mismatch at endpoint {pid}"
+    for pid, slk in full_result.endpoint_slack.items():
+        assert inc_result.endpoint_slack[pid] == pytest.approx(
+            slk, abs=TOL), f"{context}: slack mismatch at endpoint {pid}"
+    np.testing.assert_allclose(inc_result.arrival, full_result.arrival,
+                               atol=TOL, err_msg=context)
+
+
+def _apply_random_move(inc: IncrementalSTA, nl, pl, rng) -> str:
+    """One seeded resize-or-move edit through the incremental API."""
+    lib = nl.library
+    if rng.random() < 0.5:
+        # Resize: pick a combinational cell with a neighbouring drive.
+        cells = sorted(c.cid for c in nl.combinational_cells())
+        rng.shuffle(cells)
+        for cid in cells:
+            ctype = nl.cell_type(cid)
+            target = lib.upsize(ctype) or lib.downsize(ctype)
+            if target is not None:
+                inc.resize_cell(cid, target.name)
+                return f"resize {cid} -> {target.name}"
+    # Move: jitter a random cell inside the die.
+    cells = sorted(nl.cells)
+    cid = cells[int(rng.integers(len(cells)))]
+    x, y = pl.position(cid)
+    die = pl.die
+    nx = float(np.clip(x + rng.uniform(-40.0, 40.0), 0.0, die.width))
+    ny = float(np.clip(y + rng.uniform(-40.0, 40.0), 0.0, die.height))
+    inc.move_cell(cid, nx, ny)
+    return f"move {cid} -> ({nx:.1f}, {ny:.1f})"
+
+
+@pytest.mark.parametrize("name,scale", PRESETS)
+def test_incremental_matches_full_after_each_move(name, scale):
+    nl, pl = _make_design(name, scale)
+    period = 800.0
+    inc = IncrementalSTA(nl, pl, clock_period=period)
+    _assert_matches_full(inc.result, _full_sta(nl, pl, period),
+                         f"{name}: initial state")
+
+    rng = np.random.default_rng(20230716)
+    for step in range(N_MOVES):
+        what = _apply_random_move(inc, nl, pl, rng)
+        got = inc.refresh()
+        want = _full_sta(nl, pl, period)
+        _assert_matches_full(got, want, f"{name} step {step}: {what}")
+    assert inc.partial_updates == N_MOVES
+    assert inc.full_rebuilds == 0
+
+
+@pytest.mark.parametrize("name,scale", PRESETS[:1])
+def test_batched_moves_then_single_refresh(name, scale):
+    """Several dirty edits folded into one refresh still match full STA."""
+    nl, pl = _make_design(name, scale)
+    period = 800.0
+    inc = IncrementalSTA(nl, pl, clock_period=period)
+    rng = np.random.default_rng(7)
+    for _ in range(4):
+        _apply_random_move(inc, nl, pl, rng)
+    got = inc.refresh()
+    _assert_matches_full(got, _full_sta(nl, pl, period), f"{name}: batched")
+    assert inc.partial_updates == 1

@@ -11,6 +11,7 @@ from repro.timing import (
     build_timing_graph,
     run_sta,
 )
+from repro.timing.sta import STAResult
 
 from tests.conftest import make_toy_netlist
 
@@ -145,3 +146,26 @@ def test_sta_deterministic():
     r1 = run_sta(g, PreRouteEstimator(nl, pl), clock_period=500.0)
     r2 = run_sta(g, PreRouteEstimator(nl, pl), clock_period=500.0)
     np.testing.assert_array_equal(r1.arrival, r2.arrival)
+
+
+def test_no_endpoints_reports_nan_not_valueerror():
+    """Designs with no endpoints used to crash wns/max_arrival with a bare
+    ``ValueError: min() arg is an empty sequence``; they now report NaN
+    (and tns reports 0.0, there being no violations to sum)."""
+    nl, pl = toy_setup()
+    g = build_timing_graph(nl)
+    res = run_sta(g, PreRouteEstimator(nl, pl), clock_period=100.0)
+    empty = STAResult(
+        graph=g,
+        clock_period=100.0,
+        arrival=res.arrival,
+        slew=res.slew,
+        required=res.required,
+        load=res.load,
+        best_pred=res.best_pred,
+        endpoint_arrival={},
+        endpoint_slack={},
+    )
+    assert np.isnan(empty.wns)
+    assert np.isnan(empty.max_arrival)
+    assert empty.tns == 0.0

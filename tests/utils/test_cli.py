@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for cmd in ("flow", "report", "dataset", "train", "predict",
-                "table1", "table2", "table3"):
+                "profile", "table1", "table2", "table3"):
         args = parser.parse_args([cmd] + (
             ["xgate"] if cmd in ("flow", "report", "predict") else []))
         assert args.command == cmd
@@ -57,3 +57,35 @@ def test_cli_train_and_predict(tmp_path, capsys, monkeypatch):
                  "--cache", str(tmp_path), "--top", "3"]) == 0
     out = capsys.readouterr().out
     assert "predicted arrival" in out
+
+
+def test_cli_profile_runs(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    report = tmp_path / "report.json"
+    assert main(["profile", "--design", "xgate", "--scale", "0.2",
+                 "--epochs", "1", "--trace-out", str(trace),
+                 "--report-out", str(report)]) == 0
+    out = capsys.readouterr().out
+    # Every flow stage and both predictor stages must appear in the report.
+    for stage in ("flow.place", "flow.opt", "flow.route", "flow.sta",
+                  "model.pre", "model.infer"):
+        assert stage in out
+    assert "speedup" in out
+    assert trace.exists() and report.exists()
+
+    import json
+    payload = json.loads(report.read_text())
+    row = payload["table3"][0]
+    assert row["design"] == "xgate"
+    for stage in ("flow.place", "flow.opt", "flow.route", "flow.sta",
+                  "model.pre", "model.infer"):
+        assert row[stage] > 0.0
+    # Trace file is valid JSONL with span events.
+    lines = [json.loads(ln) for ln in
+             trace.read_text().strip().splitlines()]
+    assert any(ev["name"] == "flow.sta" for ev in lines)
+
+    # Leave the global tracer as the rest of the suite expects it.
+    from repro.obs.trace import get_tracer
+    get_tracer().reset()
+    get_tracer().disable()

@@ -1,8 +1,13 @@
-"""Tests for the logging helper."""
+"""Tests for the logging helper (handler dedup, env level, trace routing)."""
 
 import logging
 
-from repro.utils import get_logger
+from repro.utils import configure_logging, get_logger
+from repro.utils.log import _ReproLogHandler
+
+
+def _managed(root: logging.Logger):
+    return [h for h in root.handlers if getattr(h, "_repro_managed", False)]
 
 
 def test_logger_namespaced_under_repro():
@@ -10,15 +15,86 @@ def test_logger_namespaced_under_repro():
     assert get_logger("repro.bar").name == "repro.bar"
 
 
-def test_root_handler_configured_once():
-    get_logger("a")
-    get_logger("b")
+def test_single_handler_invariant_under_repeated_configuration():
+    """Any number of configure/get calls keeps exactly one managed handler."""
+    root = configure_logging()
+    for _ in range(5):
+        get_logger("a")
+        configure_logging()
+    assert len(_managed(root)) == 1
+    configure_logging(force=True)
+    assert len(_managed(root)) == 1
+
+
+def test_duplicate_managed_handlers_are_pruned():
+    """Even if a stale handler sneaks in (old sessions, reloads), the next
+    configuration call removes the duplicate."""
     root = logging.getLogger("repro")
-    assert len(root.handlers) == 1
+    configure_logging()
+    root.addHandler(_ReproLogHandler())       # simulate the old bug
+    assert len(_managed(root)) == 2
+    configure_logging()
+    assert len(_managed(root)) == 1
+
+
+def test_foreign_handlers_untouched():
+    """Dedup only manages our own handler — pytest's caplog etc. survive."""
+    root = logging.getLogger("repro")
+    foreign = logging.NullHandler()
+    root.addHandler(foreign)
+    try:
+        configure_logging()
+        assert foreign in root.handlers
+    finally:
+        root.removeHandler(foreign)
+
+
+def test_env_level_override(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+    root = configure_logging(force=True)
+    assert root.level == logging.DEBUG
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+    root = configure_logging(force=True)
+    assert root.level == logging.ERROR
+    monkeypatch.delenv("REPRO_LOG_LEVEL")
+    root = configure_logging(force=True)
+    assert root.level == logging.WARNING
+
+
+def test_unknown_env_level_falls_back_to_warning(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "NOT_A_LEVEL")
+    root = configure_logging(force=True)
+    assert root.level == logging.WARNING
+
+
+def test_explicit_level_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+    root = configure_logging(level="INFO", force=True)
+    assert root.level == logging.INFO
+
+
+def test_records_routed_into_tracer():
+    """With tracing enabled, a warning surfaces as a trace 'log' event."""
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        configure_logging(force=True)
+        get_logger("route.test").warning("congestion %d", 7)
+        events = [ev for ev in tracer.events()
+                  if ev["name"] == "log"
+                  and ev["attrs"].get("logger") == "repro.route.test"]
+        assert events, "log record should appear in the trace"
+        assert events[-1]["attrs"]["message"] == "congestion 7"
+        assert events[-1]["attrs"]["level"] == "WARNING"
+    finally:
+        tracer.reset()
+        if not was_enabled:
+            tracer.disable()
 
 
 def test_child_loggers_propagate_to_root():
     logger = get_logger("child.module")
     assert logger.propagate
-    assert logging.getLogger("repro").level == logging.WARNING \
-        or logging.getLogger("repro").level == logging.INFO
