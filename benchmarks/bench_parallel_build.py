@@ -1,0 +1,72 @@
+"""Parallel dataset build speedup: cold-cache serial vs ``jobs=4``.
+
+The ISSUE's acceptance bar: building four scaled designs with four
+workers must be at least 2x faster than the serial build on a cold
+cache.  Flow construction is CPU-bound and embarrassingly parallel
+across designs, so the speedup target only makes sense when the machine
+actually has cores to spare — the assertion scales with the CPUs this
+process may use (``os.sched_getaffinity``):
+
+* >= 4 CPUs: assert the full 2.0x,
+* 2-3 CPUs: assert a conservative 1.2x,
+* 1 CPU: print the measurement and skip the assertion (a process pool
+  on one core can only break even).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_build.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.flow import FlowConfig
+from repro.ml import build_dataset_report
+
+DESIGNS = ["xgate", "steelcore", "chacha", "arm9"]
+CFG = FlowConfig(scale=0.35)
+BINS = 32
+JOBS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _cold_build(jobs):
+    """Cold-cache wall time: no cache_dir, every design fully built."""
+    t0 = time.perf_counter()
+    samples, report = build_dataset_report(DESIGNS, flow_config=CFG,
+                                           map_bins=BINS, jobs=jobs)
+    wall = time.perf_counter() - t0
+    assert report.ok, report.format()
+    assert all(s is not None for s in samples)
+    return wall
+
+
+def test_parallel_build_speedup():
+    cpus = _cpus()
+    serial = _cold_build(jobs=None)
+    parallel = _cold_build(jobs=JOBS)
+    speedup = serial / parallel
+    print(f"\nparallel build: serial {serial:.2f}s, "
+          f"jobs={JOBS} {parallel:.2f}s -> {speedup:.2f}x "
+          f"({cpus} CPUs available)")
+    if cpus >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x with {JOBS} workers on {cpus} CPUs, "
+            f"got {speedup:.2f}x")
+    elif cpus >= 2:
+        assert speedup >= 1.2, (
+            f"expected >=1.2x with {JOBS} workers on {cpus} CPUs, "
+            f"got {speedup:.2f}x")
+    else:
+        pytest.skip(f"only {cpus} CPU available; measured {speedup:.2f}x "
+                    "without asserting")

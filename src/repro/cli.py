@@ -43,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--designs", nargs="*", default=None)
     p_ds.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
     p_ds.add_argument("--seed", type=int, default=0)
+    p_ds.add_argument("--scale", type=float, default=None,
+                      help="shrink the preset designs (e.g. 0.25)")
+    p_ds.add_argument("--jobs", type=int, default=None,
+                      help="build designs in N parallel worker processes")
 
     p_tr = sub.add_parser("train", help="train and save a predictor")
     p_tr.add_argument("--variant", choices=("full", "gnn", "cnn"),
@@ -67,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--design", default="xgate",
                         help="preset design to profile (default: xgate, "
                              "the smallest)")
+    p_prof.add_argument("--designs", nargs="*", default=None,
+                        help="profile several designs (with --jobs: built "
+                             "in parallel, worker traces merged)")
+    p_prof.add_argument("--jobs", type=int, default=None,
+                        help="build the profiled designs in N parallel "
+                             "worker processes")
     p_prof.add_argument("--scale", type=float, default=None,
                         help="shrink the preset design (e.g. 0.25)")
     p_prof.add_argument("--seed", type=int, default=0)
@@ -123,15 +133,22 @@ def cmd_report(args) -> int:
 
 
 def cmd_dataset(args) -> int:
-    from repro.ml import build_dataset
+    from repro.flow import FlowConfig
+    from repro.ml import build_dataset_report
     from repro.netlist import DESIGN_PRESETS
 
     designs = args.designs or sorted(DESIGN_PRESETS)
-    samples = build_dataset(designs, cache_dir=args.cache, seed=args.seed)
+    config = FlowConfig(base_seed=args.seed, scale=args.scale)
+    samples, report = build_dataset_report(
+        designs, flow_config=config, cache_dir=args.cache, seed=args.seed,
+        jobs=args.jobs)
     for s in samples:
-        print(f"{s.name:<10} endpoints {s.n_endpoints:>5}  "
-              f"nodes {s.n_nodes:>7}  pre {s.preprocess_time:.2f}s")
-    return 0
+        if s is not None:
+            print(f"{s.name:<10} endpoints {s.n_endpoints:>5}  "
+                  f"nodes {s.n_nodes:>7}  pre {s.preprocess_time:.2f}s")
+    print()
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def cmd_train(args) -> int:
@@ -177,7 +194,9 @@ def cmd_profile(args) -> int:
 
     Covers every reference-flow stage (place, opt, route, sta) and both
     predictor stages (pre, infer); the printed table is the trace-derived
-    Table III for the profiled design.
+    Table III for the profiled design(s).  With ``--jobs N`` the designs
+    are built in parallel worker processes and the per-worker traces are
+    merged back, so the table still covers every stage of every design.
     """
     import json
 
@@ -186,14 +205,26 @@ def cmd_profile(args) -> int:
     from repro.obs import aggregate_trace, configure_tracing, get_metrics
 
     tracer = configure_tracing(enabled=True, jsonl_path=str(args.trace_out))
-    flow = run_flow(args.design, FlowConfig(
-        scale=args.scale, base_seed=args.seed))
     predictor = TimingPredictor(
         model_config=ModelConfig(variant="full"),
         trainer_config=TrainerConfig(epochs=args.epochs))
-    sample = predictor.preprocess(flow, seed=args.seed)
-    predictor.fit([sample])
-    predictor.predict(sample)
+    if args.jobs is not None and args.jobs > 1:
+        from repro.ml import build_dataset
+
+        designs = args.designs or [args.design]
+        samples = build_dataset(
+            designs,
+            flow_config=FlowConfig(scale=args.scale, base_seed=args.seed),
+            seed=args.seed, jobs=args.jobs)
+        predictor.fit([samples[0]])
+        for sample in samples:
+            predictor.predict(sample)
+    else:
+        flow = run_flow(args.design, FlowConfig(
+            scale=args.scale, base_seed=args.seed))
+        sample = predictor.preprocess(flow, seed=args.seed)
+        predictor.fit([sample])
+        predictor.predict(sample)
 
     report = aggregate_trace(tracer.events())
     print(report.format())

@@ -9,7 +9,7 @@ the training set so one normalization serves all designs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,18 +68,23 @@ class Trainer:
         self.norm: Optional[LabelNorm] = None
         self.history: List[float] = []
 
-    def fit(self, train_samples: List[DesignSample]) -> Dict[str, float]:
-        """Train on the given samples; returns final per-design losses."""
+    def fit(self, train_samples: List[DesignSample]
+            ) -> Dict[Tuple[str, int], float]:
+        """Train on the given samples.
+
+        Returns the final loss per sample, keyed by ``(design name,
+        position in train_samples)`` — augmented datasets may contain
+        several placements of the same named design, so the name alone
+        would collide and silently drop losses.
+        """
         require(len(train_samples) > 0, "need at least one training sample")
         self.norm = LabelNorm.fit(train_samples)
         optimizer = Adam(self.model.parameters(), lr=self.config.lr)
         rng = spawn_rng("trainer", self.config.seed)
 
-        # Keyed by position: augmented datasets may contain several
-        # placements of the same named design.
         targets = [self.norm.normalize(s.y, s.clock_period)
                    for s in train_samples]
-        final: Dict[str, float] = {}
+        final: Dict[Tuple[str, int], float] = {}
         metrics = get_metrics()
         for epoch in range(self.config.epochs):
             with get_tracer().span("trainer.epoch", epoch=epoch) as sp:
@@ -93,7 +98,7 @@ class Trainer:
                     self.model.backward(grad)
                     optimizer.step()
                     epoch_loss += loss
-                    final[sample.name] = loss
+                    final[(sample.name, int(idx))] = loss
                 self.history.append(epoch_loss / len(train_samples))
                 sp.set(loss=self.history[-1])
             metrics.counter("trainer.steps").inc(len(train_samples))

@@ -14,7 +14,9 @@ comparison of Table III.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.netlist import DESIGN_PRESETS, DesignSpec, Netlist, generate_netlist
@@ -49,6 +51,18 @@ class FlowConfig:
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     router: RouterConfig = field(default_factory=RouterConfig)
     map_bins: int = 64                 # layout feature map resolution
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the *full* configuration.
+
+        Every field — including all placer/optimizer/router sub-config
+        knobs, ``with_opt``, ``scale``, seeds and ``map_bins`` — enters
+        the hash, so anything keyed on it (notably the dataset cache,
+        see :mod:`repro.ml.dataset`) is invalidated by any change that
+        could alter the flow's outputs or labels.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass

@@ -1,20 +1,38 @@
 """Shared ML data layer: features, samples, dataset builder."""
 
-from repro.ml.dataset import build_dataset, build_level_plans, build_sample
+from repro.ml.dataset import (
+    build_dataset,
+    build_dataset_report,
+    build_level_plans,
+    build_sample,
+    load_or_build_sample,
+    sample_cache_path,
+)
 from repro.ml.features import (
     CELL_FEATURE_DIM,
     NET_FEATURE_DIM,
     node_features,
 )
+from repro.ml.parallel import (
+    BuildReport,
+    DesignBuildStatus,
+    build_dataset_parallel,
+)
 from repro.ml.sample import DesignSample, LevelPlan
 
 __all__ = [
     "build_dataset",
+    "build_dataset_report",
     "build_level_plans",
     "build_sample",
+    "load_or_build_sample",
+    "sample_cache_path",
     "CELL_FEATURE_DIM",
     "NET_FEATURE_DIM",
     "node_features",
+    "BuildReport",
+    "DesignBuildStatus",
+    "build_dataset_parallel",
     "DesignSample",
     "LevelPlan",
 ]

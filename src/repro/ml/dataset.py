@@ -7,7 +7,8 @@ generation are timed into ``sample.preprocess_time``.
 
 from __future__ import annotations
 
-import pickle
+import hashlib
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -20,7 +21,7 @@ from repro.ml.sample import DesignSample, LevelPlan
 from repro.netlist import DESIGN_PRESETS
 from repro.obs import get_metrics, get_tracer
 from repro.timing import CELL_OUT, NET_SINK, build_timing_graph
-from repro.utils import get_logger
+from repro.utils import atomic_pickle_dump, get_logger, load_pickle_or_none
 
 logger = get_logger("ml.dataset")
 
@@ -185,37 +186,132 @@ def _edge_in(nl, edge: Tuple[int, int]) -> bool:
     return edge[0] in nl.pins and edge[1] in nl.pins
 
 
+def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
+                      map_bins: int, seed: int) -> Path:
+    """Cache file for one design under one *full* configuration.
+
+    The key is a content hash over the complete :class:`FlowConfig`
+    (including the placer/optimizer/router sub-configs and ``with_opt``)
+    plus the sample parameters and :data:`CACHE_VERSION`, so any change
+    that could alter features or labels maps to a different file — a
+    stale entry can never be served for a different configuration.
+    """
+    payload = (f"{flow_config.fingerprint()}:b{map_bins}:s{seed}"
+               f":v{CACHE_VERSION}")
+    key = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return Path(cache_dir) / f"{name}_{key}.pkl"
+
+
+def load_or_build_sample(name: str, flow_config: FlowConfig,
+                         map_bins: int = 64, seed: int = 0,
+                         cache_dir: Optional[Path] = None,
+                         ) -> Tuple[DesignSample, str]:
+    """One design → sample, through the disk cache when available.
+
+    Returns ``(sample, status)`` with status ``"cached"`` or ``"built"``.
+    Cache reads treat corrupt/unreadable files as misses (warn + rebuild);
+    cache writes are atomic (temp file + ``os.replace``), so an
+    interrupted build never leaves a half-written file behind.  Shared by
+    the serial loop below and the parallel workers in
+    :mod:`repro.ml.parallel`.
+    """
+    cache_file = None
+    if cache_dir is not None:
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        cache_file = sample_cache_path(cache_dir, name, flow_config,
+                                       map_bins, seed)
+        sample = load_pickle_or_none(cache_file, logger)
+        if sample is not None:
+            logger.info("loaded %s from cache", name)
+            return sample, "cached"
+    logger.info("running flow for %s", name)
+    flow = run_flow(name, flow_config)
+    sample = build_sample(flow, map_bins=map_bins, seed=seed)
+    if cache_file is not None:
+        atomic_pickle_dump(sample, cache_file)
+    return sample, "built"
+
+
 def build_dataset(designs: List[str],
                   flow_config: Optional[FlowConfig] = None,
                   map_bins: int = 64,
                   cache_dir: Optional[Path] = None,
-                  seed: int = 0) -> List[DesignSample]:
+                  seed: int = 0,
+                  jobs: Optional[int] = None) -> List[DesignSample]:
     """Run the reference flow on each design and build samples.
 
-    Results are cached on disk keyed by (design, seed, scale, version) so
-    benchmarks re-run quickly.
+    Results are cached on disk keyed by the full-config hash (see
+    :func:`sample_cache_path`) so benchmarks re-run quickly.  With
+    ``jobs > 1`` designs are built in parallel worker processes (see
+    :mod:`repro.ml.parallel`); serial and parallel builds produce
+    identical samples.  Raises ``RuntimeError`` if any design still
+    fails after the per-design retry; use :func:`build_dataset_report`
+    to inspect partial results instead.
     """
-    flow_config = flow_config or FlowConfig(base_seed=seed)
-    samples: List[DesignSample] = []
-    for name in designs:
-        sample = None
-        cache_file = None
-        if cache_dir is not None:
-            cache_dir = Path(cache_dir)
-            cache_dir.mkdir(parents=True, exist_ok=True)
-            scale = flow_config.scale if flow_config.scale else 1.0
-            cache_file = cache_dir / (
-                f"{name}_s{seed}_x{scale}_b{map_bins}_v{CACHE_VERSION}.pkl")
-            if cache_file.exists():
-                with open(cache_file, "rb") as fh:
-                    sample = pickle.load(fh)
-                logger.info("loaded %s from cache", name)
-        if sample is None:
-            logger.info("running flow for %s", name)
-            flow = run_flow(name, flow_config)
-            sample = build_sample(flow, map_bins=map_bins, seed=seed)
-            if cache_file is not None:
-                with open(cache_file, "wb") as fh:
-                    pickle.dump(sample, fh)
-        samples.append(sample)
+    samples, report = build_dataset_report(
+        designs, flow_config=flow_config, map_bins=map_bins,
+        cache_dir=cache_dir, seed=seed, jobs=jobs)
+    failed = report.failed
+    if failed:
+        details = "; ".join(f"{s.design}: {s.error}" for s in failed)
+        raise RuntimeError(
+            f"dataset build failed for {len(failed)} design(s) "
+            f"after retries — {details}")
     return samples
+
+
+def build_dataset_report(designs: List[str],
+                         flow_config: Optional[FlowConfig] = None,
+                         map_bins: int = 64,
+                         cache_dir: Optional[Path] = None,
+                         seed: int = 0,
+                         jobs: Optional[int] = None,
+                         _fail_once: Optional[Dict[str, str]] = None):
+    """Like :func:`build_dataset` but fault-tolerant and introspectable.
+
+    Returns ``(samples, report)`` where *samples* is aligned with
+    *designs* (``None`` for designs that failed permanently) and
+    *report* is a :class:`repro.ml.parallel.BuildReport` with per-design
+    status, attempts, durations and errors.  ``_fail_once`` is the fault
+    -injection hook used by the crash-tolerance tests (design name →
+    ``"raise"`` or ``"crash"``; the fault fires on the first attempt
+    only).
+    """
+    # Import here: repro.ml.parallel imports this module.
+    from repro.ml.parallel import (
+        BuildReport,
+        DesignBuildStatus,
+        build_dataset_parallel,
+    )
+
+    flow_config = flow_config or FlowConfig(base_seed=seed)
+    if jobs is not None and jobs > 1:
+        return build_dataset_parallel(
+            designs, flow_config, map_bins=map_bins, cache_dir=cache_dir,
+            seed=seed, jobs=jobs, _fail_once=_fail_once)
+
+    samples: List[Optional[DesignSample]] = []
+    statuses: List[DesignBuildStatus] = []
+    wall_start = time.perf_counter()
+    for name in designs:
+        start = time.perf_counter()
+        try:
+            sample, status = load_or_build_sample(
+                name, flow_config, map_bins=map_bins, seed=seed,
+                cache_dir=cache_dir)
+            samples.append(sample)
+            statuses.append(DesignBuildStatus(
+                design=name, status=status, attempts=1,
+                duration_s=time.perf_counter() - start))
+        except Exception as exc:
+            logger.warning("building %s failed: %s: %s", name,
+                           type(exc).__name__, exc)
+            samples.append(None)
+            statuses.append(DesignBuildStatus(
+                design=name, status="failed", attempts=1,
+                duration_s=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}"))
+    report = BuildReport(statuses=statuses, jobs=1,
+                         wall_s=time.perf_counter() - wall_start)
+    return samples, report

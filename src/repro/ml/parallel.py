@@ -1,0 +1,291 @@
+"""Parallel, crash-tolerant dataset builds.
+
+Dataset generation (flow → sample) dominates experiment wall-clock, and
+designs are independent — an embarrassingly parallel batch job.  This
+module fans designs out to a :class:`~concurrent.futures.
+ProcessPoolExecutor` with:
+
+* **Correct caching.**  Workers share the serial path's
+  :func:`repro.ml.dataset.load_or_build_sample`: cache keys hash the
+  *full* :class:`~repro.flow.FlowConfig`, writes are atomic, corrupt
+  files are misses.  Serial and parallel builds are byte-identical.
+
+* **Per-design fault tolerance.**  A worker exception — or a hard crash
+  that breaks the whole pool — costs one attempt for the affected
+  design(s); each design is retried once (a broken pool is recreated
+  first) and a permanent failure is reported in the
+  :class:`BuildReport` without killing the rest of the batch.
+
+* **Cross-process observability.**  When the parent tracer is enabled,
+  each worker writes its spans plus a cumulative metrics snapshot to a
+  per-worker JSONL file; the parent merges them back
+  (:func:`repro.obs.merge_worker_traces`) so ``repro profile`` still
+  produces the full Table III runtime table for parallel runs.
+
+The public entry point is ``build_dataset(..., jobs=N)`` /
+``build_dataset_report(..., jobs=N)`` in :mod:`repro.ml.dataset`;
+:func:`build_dataset_parallel` here is the engine behind them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.flow import FlowConfig
+from repro.ml.sample import DesignSample
+from repro.obs import get_metrics, get_tracer, merge_worker_traces
+from repro.obs.merge import worker_trace_path
+from repro.obs.trace import configure_tracing
+from repro.utils import get_logger
+
+logger = get_logger("ml.parallel")
+
+#: Each design gets at most this many attempts (i.e. one retry).
+MAX_ATTEMPTS = 2
+
+
+# ----------------------------------------------------------------------
+# Report structures
+# ----------------------------------------------------------------------
+@dataclass
+class DesignBuildStatus:
+    """Outcome of one design in a batch build."""
+
+    design: str
+    status: str                     # "built" | "cached" | "failed"
+    attempts: int
+    duration_s: float = 0.0
+    error: Optional[str] = None     # last error message when failed/retried
+    worker_pid: Optional[int] = None
+
+
+@dataclass
+class BuildReport:
+    """Structured outcome of one :func:`build_dataset_parallel` batch."""
+
+    statuses: List[DesignBuildStatus] = field(default_factory=list)
+    jobs: int = 1
+    wall_s: float = 0.0
+    #: Worker span/event lines merged into the parent tracer (0 when
+    #: tracing was disabled).
+    merged_events: int = 0
+
+    @property
+    def failed(self) -> List[DesignBuildStatus]:
+        return [s for s in self.statuses if s.status == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.statuses:
+            out[s.status] = out.get(s.status, 0) + 1
+        return out
+
+    def format(self) -> str:
+        """Human-readable per-design build table."""
+        header = (f"{'design':<12}{'status':>8}{'attempts':>9}"
+                  f"{'time s':>9}{'pid':>8}  error")
+        counts = ", ".join(f"{k}={v}"
+                           for k, v in sorted(self.counts().items()))
+        lines = [f"dataset build: {len(self.statuses)} designs, "
+                 f"jobs={self.jobs}, wall {self.wall_s:.2f}s ({counts})",
+                 header, "-" * len(header)]
+        for s in self.statuses:
+            pid = s.worker_pid if s.worker_pid else "-"
+            lines.append(f"{s.design:<12}{s.status:>8}{s.attempts:>9}"
+                         f"{s.duration_s:>9.2f}{pid:>8}  {s.error or ''}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BuildTask:
+    """Everything one worker invocation needs (must pickle cleanly)."""
+
+    index: int
+    design: str
+    flow_config: FlowConfig
+    map_bins: int
+    seed: int
+    cache_dir: Optional[str]
+    attempt: int
+    trace_dir: Optional[str]
+    fail_mode: Optional[str]  # fault injection: "raise" | "crash" | None
+
+
+def _worker_init(trace_dir: Optional[str], tracing: bool) -> None:
+    """Per-process setup: detach inherited sinks, open a private trace.
+
+    With the default ``fork`` start method the child inherits the parent
+    tracer's state *including its open JSONL sinks*; writing through
+    those would interleave bytes into the parent's file.  Reset drops
+    them (closing only this process's duplicated descriptors), then a
+    per-worker sink is installed when tracing is on.
+    """
+    tracer = get_tracer()
+    tracer.reset()
+    if tracing and trace_dir:
+        configure_tracing(enabled=True,
+                          jsonl_path=worker_trace_path(trace_dir))
+    else:
+        tracer.disable()
+
+
+def _build_one(task: _BuildTask) -> Tuple[int, DesignSample, str, float, int]:
+    """Worker body: build (or load) one design's sample.
+
+    Returns ``(index, sample, status, duration_s, pid)``.
+    """
+    # Import here so the function pickles by reference without dragging
+    # the dataset module through the executor's serializer.
+    from repro.ml.dataset import load_or_build_sample
+
+    if task.fail_mode and task.attempt == 1:
+        if task.fail_mode == "crash":
+            os._exit(17)  # simulate a hard worker crash (no cleanup)
+        raise RuntimeError(f"injected failure for {task.design!r}")
+
+    start = time.perf_counter()
+    sample, status = load_or_build_sample(
+        task.design, task.flow_config, map_bins=task.map_bins,
+        seed=task.seed,
+        cache_dir=Path(task.cache_dir) if task.cache_dir else None)
+    duration = time.perf_counter() - start
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Cumulative snapshot; the parent folds only the last one per
+        # worker file, so emitting after every task is safe.
+        tracer.ingest({"type": "metrics", "pid": os.getpid(),
+                       "ts": time.time(),
+                       "snapshot": get_metrics().snapshot()})
+    return task.index, sample, status, duration, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _make_executor(jobs: int, trace_dir: Optional[str],
+                   tracing: bool) -> ProcessPoolExecutor:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                               initializer=_worker_init,
+                               initargs=(trace_dir, tracing))
+
+
+def build_dataset_parallel(
+        designs: List[str],
+        flow_config: FlowConfig,
+        map_bins: int = 64,
+        cache_dir: Optional[Path] = None,
+        seed: int = 0,
+        jobs: int = 2,
+        _fail_once: Optional[Dict[str, str]] = None,
+) -> Tuple[List[Optional[DesignSample]], BuildReport]:
+    """Build samples for *designs* across ``jobs`` worker processes.
+
+    Returns ``(samples, report)``; *samples* is aligned with *designs*
+    and holds ``None`` for designs that failed after their retry.
+    ``_fail_once`` injects a fault on a design's first attempt
+    (``"raise"`` → exception in the worker, ``"crash"`` → the worker
+    process dies, breaking the pool) — used by the crash-tolerance
+    tests.
+    """
+    jobs = max(1, int(jobs))
+    fail_once = dict(_fail_once or {})
+    tracer = get_tracer()
+    tracing = tracer.enabled
+
+    samples: List[Optional[DesignSample]] = [None] * len(designs)
+    statuses: Dict[int, DesignBuildStatus] = {}
+    wall_start = time.perf_counter()
+
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as trace_dir:
+        trace_dir_arg = trace_dir if tracing else None
+        executor = _make_executor(jobs, trace_dir_arg, tracing)
+        generation = 0   # bumped each time a broken pool is replaced
+        pending: Dict[object, Tuple[_BuildTask, int]] = {}
+
+        def submit(index: int, attempt: int) -> None:
+            name = designs[index]
+            task = _BuildTask(
+                index=index, design=name, flow_config=flow_config,
+                map_bins=map_bins, seed=seed,
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
+                attempt=attempt, trace_dir=trace_dir_arg,
+                fail_mode=fail_once.get(name))
+            pending[executor.submit(_build_one, task)] = (task, generation)
+
+        with tracer.span("dataset.parallel_build", jobs=jobs,
+                         n_designs=len(designs)):
+            for i in range(len(designs)):
+                submit(i, attempt=1)
+
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task, gen = pending.pop(fut)
+                    try:
+                        idx, sample, status, dur, pid = fut.result()
+                    except Exception as exc:
+                        if isinstance(exc, BrokenProcessPool):
+                            # A crashed worker poisons every pending
+                            # future of this executor; replace it once
+                            # per breakage so retries run on a healthy
+                            # pool.
+                            if gen == generation:
+                                generation += 1
+                                executor.shutdown(wait=False,
+                                                  cancel_futures=True)
+                                executor = _make_executor(
+                                    jobs, trace_dir_arg, tracing)
+                        error = f"{type(exc).__name__}: {exc}"
+                        if task.attempt < MAX_ATTEMPTS:
+                            logger.warning(
+                                "design %s attempt %d failed (%s); "
+                                "retrying", task.design, task.attempt,
+                                error)
+                            submit(task.index, task.attempt + 1)
+                        else:
+                            logger.error(
+                                "design %s failed permanently after %d "
+                                "attempts: %s", task.design, task.attempt,
+                                error)
+                            statuses[task.index] = DesignBuildStatus(
+                                design=task.design, status="failed",
+                                attempts=task.attempt, error=error)
+                        continue
+                    samples[idx] = sample
+                    statuses[idx] = DesignBuildStatus(
+                        design=task.design, status=status,
+                        attempts=task.attempt, duration_s=dur,
+                        worker_pid=pid)
+            executor.shutdown()
+
+        merged = merge_worker_traces(trace_dir, tracer) if tracing else 0
+
+    report = BuildReport(
+        statuses=[statuses[i] for i in range(len(designs))],
+        jobs=jobs,
+        wall_s=time.perf_counter() - wall_start,
+        merged_events=merged)
+    get_metrics().counter("dataset.parallel_builds").inc()
+    if report.failed:
+        get_metrics().counter("dataset.build_failures").inc(
+            len(report.failed))
+    return samples, report

@@ -21,6 +21,7 @@ Zero-dependency (stdlib-only) subsystem with three layers:
     stages pre/infer).
 """
 
+from repro.obs.merge import merge_worker_traces, worker_trace_path
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -44,6 +45,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "merge_worker_traces",
+    "worker_trace_path",
     "ProfileReport",
     "aggregate_trace",
     "load_trace",

@@ -172,6 +172,20 @@ class Tracer:
         with self._lock:
             return list(self._events)
 
+    def ingest(self, event: Dict[str, Any]) -> None:
+        """Replay an externally recorded event into this tracer.
+
+        Used to merge per-worker trace files back into the parent
+        process's tracer (buffer *and* sinks), so aggregation such as
+        :func:`repro.obs.profile.aggregate_trace` sees one unified
+        stream.  The event keeps its original ids; consumers must not
+        assume ingested span ids are unique across processes.  No-op
+        when the tracer is disabled.
+        """
+        if not self._enabled:
+            return
+        self._emit(dict(event))
+
     # ------------------------------------------------------------------
     def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)

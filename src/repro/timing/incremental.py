@@ -30,6 +30,7 @@ from repro.timing.sta import (
     PO_LOAD_FF,
     SLEW_WIRE_FACTOR,
     STAResult,
+    _argmax_per_dst,
 )
 
 
@@ -222,9 +223,9 @@ class IncrementalSTA:
                 self._arrival[dst] = -np.inf
                 cand = self._arrival[src] + d
                 np.maximum.at(self._arrival, dst, cand)
-                winner = cand >= self._arrival[dst] - 1e-9
-                self._slew[dst[winner]] = s_out[winner]
-                self._best_pred[dst[winner]] = src[winner]
+                sel = _argmax_per_dst(cand, dst, self._arrival)
+                self._slew[dst[sel]] = s_out[sel]
+                self._best_pred[dst[sel]] = src[sel]
 
     # ------------------------------------------------------------------
     def _package(self) -> STAResult:

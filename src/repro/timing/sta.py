@@ -83,6 +83,23 @@ class STAResult:
         return [int(g.pin_ids[v]) for v in reversed(path)]
 
 
+def _argmax_per_dst(cand: np.ndarray, dst: np.ndarray,
+                    arrival: np.ndarray) -> np.ndarray:
+    """Index of the winning arc per destination: a deterministic argmax.
+
+    ``arrival[dst]`` already holds the per-destination maximum (via
+    ``np.maximum.at``), so the winners are the arcs whose candidate
+    equals it *exactly*; on exact ties the first arc in edge order wins.
+    A tolerance mask here (the old ``cand >= arrival[dst] - 1e-9``)
+    could select several rows per destination, making the subsequent
+    fancy-indexed slew/best_pred writes depend on edge array order and
+    possibly follow a near-tied arc that is not the true maximum.
+    """
+    exact = np.flatnonzero(cand == arrival[dst])
+    _, first = np.unique(dst[exact], return_index=True)
+    return exact[first]
+
+
 def run_sta(graph: TimingGraph, wires: WireLengthProvider,
             clock_period: float,
             constraints: "TimingConstraints" = None) -> STAResult:
@@ -208,9 +225,9 @@ def _run_sta_impl(graph: TimingGraph, wires: WireLengthProvider,
             cell_delay[chunk] = d
             cand = arrival[src] + d
             np.maximum.at(arrival, dst, cand)
-            winner = cand >= arrival[dst] - 1e-9
-            slew[dst[winner]] = s_out[winner]
-            best_pred[dst[winner]] = src[winner]
+            sel = _argmax_per_dst(cand, dst, arrival)
+            slew[dst[sel]] = s_out[sel]
+            best_pred[dst[sel]] = src[sel]
 
     require(bool(np.all(np.isfinite(arrival))),
             "arrival propagation left unreachable nodes")

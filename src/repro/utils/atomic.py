@@ -1,0 +1,75 @@
+"""Atomic, crash-tolerant pickle persistence for on-disk caches.
+
+Two invariants for every cache file written through this module:
+
+* **Atomic visibility.**  Writes go to a unique temp file in the target
+  directory and are published with :func:`os.replace`, so a reader can
+  never observe a half-written file — even if the writer is killed
+  mid-dump, the destination either holds the previous complete version
+  or nothing.
+
+* **Corruption is a miss, not a crash.**  :func:`load_pickle_or_none`
+  treats an unreadable or truncated file (e.g. left behind by a pre-
+  atomic writer, a disk-full event, or a version skew) as a cache miss:
+  it logs, removes the bad file, and returns ``None`` so the caller
+  rebuilds.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_pickle_dump(obj: Any, path: PathLike) -> None:
+    """Pickle *obj* to *path* via a same-directory temp file + ``os.replace``.
+
+    The temp name embeds the pid so concurrent writers (e.g. two dataset
+    builds sharing a cache directory) never clobber each other's
+    in-progress files; the final ``os.replace`` is atomic on POSIX, so
+    the last completed writer wins with a complete file.
+    """
+    path = str(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + f".{os.getpid()}.",
+        suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(obj, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_pickle_or_none(path: PathLike,
+                        logger: Optional[logging.Logger] = None) -> Any:
+    """Unpickle *path*; any failure is a cache miss returning ``None``.
+
+    A corrupt/truncated/unreadable file is logged as a warning and
+    unlinked so the subsequent rebuild replaces it with a good copy.
+    """
+    path = str(path)
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:  # truncated pickle, EOFError, version skew, ...
+        if logger is not None:
+            logger.warning("discarding corrupt cache file %s (%s: %s)",
+                           path, type(exc).__name__, exc)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None

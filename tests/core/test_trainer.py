@@ -41,6 +41,19 @@ def test_training_fits_train_set(tiny_samples):
         assert r2_score(s.y, pred) > 0.6
 
 
+def test_fit_losses_keyed_per_sample_not_per_name(tiny_samples):
+    """Regression: augmented datasets repeat design names; the returned
+    losses must not collapse duplicates onto one key."""
+    s = tiny_samples[0]
+    duplicated = [s, s]  # two "placements" of the same named design
+    model = RestructureTolerantModel(ModelConfig(variant="gnn", **SMALL))
+    trainer = Trainer(model, TrainerConfig(epochs=2))
+    final = trainer.fit(duplicated)
+    assert set(final) == {(s.name, 0), (s.name, 1)}
+    for loss in final.values():
+        assert np.isfinite(loss)
+
+
 def test_predict_before_fit_raises(tiny_samples):
     model = RestructureTolerantModel(ModelConfig(variant="gnn", **SMALL))
     trainer = Trainer(model)

@@ -86,3 +86,54 @@ def test_dataset_cache_roundtrip(tmp_path):
                            cache_dir=tmp_path)
     np.testing.assert_allclose(first[0].y, second[0].y)
     assert first[0].name == second[0].name
+
+
+def test_cache_key_encodes_full_flow_config(tmp_path):
+    """Regression: the cache key must cover every FlowConfig field.
+
+    The old filename encoded only (name, seed, scale, map_bins, version),
+    so flipping ``with_opt`` or any optimizer knob silently served the
+    previously cached samples — i.e. wrong labels.
+    """
+    from repro.opt import OptimizerConfig
+
+    with_opt = build_dataset(["xgate"], flow_config=FlowConfig(scale=0.15),
+                             map_bins=32, cache_dir=tmp_path)
+    no_opt = build_dataset(["xgate"],
+                           flow_config=FlowConfig(scale=0.15,
+                                                  with_opt=False),
+                           map_bins=32, cache_dir=tmp_path)
+    # Different configs must build distinct cache entries...
+    assert len(list(tmp_path.glob("*.pkl"))) == 2
+    # ...and an unoptimized flow really has different sign-off labels.
+    assert not np.allclose(with_opt[0].y, no_opt[0].y)
+
+    # A sub-config change alone must also miss the cache.
+    build_dataset(["xgate"],
+                  flow_config=FlowConfig(
+                      scale=0.15, optimizer=OptimizerConfig(max_passes=1)),
+                  map_bins=32, cache_dir=tmp_path)
+    assert len(list(tmp_path.glob("*.pkl"))) == 3
+
+
+def test_corrupt_cache_recovers_by_rebuilding(tmp_path, caplog):
+    """Regression: a truncated/corrupt cache pickle must warn and rebuild,
+    not crash every subsequent run."""
+    import logging
+    import pickle
+
+    cfg = FlowConfig(scale=0.15)
+    first = build_dataset(["xgate"], flow_config=cfg, map_bins=32,
+                          cache_dir=tmp_path)
+    (cache_file,) = tmp_path.glob("*.pkl")
+    cache_file.write_bytes(b"\x80\x04 this is not a pickle")
+
+    with caplog.at_level(logging.WARNING, logger="repro.ml.dataset"):
+        second = build_dataset(["xgate"], flow_config=cfg, map_bins=32,
+                               cache_dir=tmp_path)
+    assert any("corrupt" in r.message for r in caplog.records)
+    np.testing.assert_array_equal(first[0].y, second[0].y)
+    # The rebuild must have replaced the bad file with a loadable one.
+    with open(cache_file, "rb") as fh:
+        reloaded = pickle.load(fh)
+    np.testing.assert_array_equal(reloaded.y, first[0].y)

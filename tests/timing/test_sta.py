@@ -148,6 +148,54 @@ def test_sta_deterministic():
     np.testing.assert_array_equal(r1.arrival, r2.arrival)
 
 
+def test_tie_break_follows_true_max_arrival_arc():
+    """Regression: the winner mask ``cand >= arrival[dst] - 1e-9`` could
+    select several arcs per destination; the fancy-indexed slew/best_pred
+    writes then followed whichever arc came last in edge-array order —
+    possibly a near-tied arc that is NOT the true maximum.  The winner
+    must be a deterministic per-destination argmax.
+    """
+    from repro.timing.constraints import TimingConstraints
+
+    class ZeroWires:
+        def length(self, src_pin: int, dst_pin: int) -> float:
+            return 0.0
+
+    nl = make_toy_netlist()
+    g = build_timing_graph(nl)
+    g0 = next(c for c in nl.cells.values() if c.name == "g0")
+    out_node = g.node_of[g0.output_pin]
+
+    # The two cell arcs into g0/out, in edge-array order (= the order the
+    # old code's last-write-wins would resolve them in).
+    arcs = [(int(s), int(d)) for s, d in zip(g.cell_edge_src, g.cell_edge_dst)
+            if int(d) == out_node]
+    assert len(arcs) == 2
+
+    # Map each arc's source (a net-sink node) back to the driving PI port.
+    driver_of = {int(d): int(s) for s, d
+                 in zip(g.net_edge_src, g.net_edge_dst)}
+    pi_name_of_arc = [
+        nl.pins[int(g.pin_ids[driver_of[src]])].name for src, _ in arcs]
+
+    # Zero wire delay → identical slews and NLDM arc delays, so arrivals
+    # at g0's output are input_delay + d for both arcs.  The FIRST arc
+    # gets the strictly larger input delay; the LAST arc lands within the
+    # old 1e-9 tolerance but below the true max.
+    constraints = TimingConstraints(clock_period=200.0, input_delays={
+        pi_name_of_arc[0]: 1.0,
+        pi_name_of_arc[1]: 1.0 - 5e-10,
+    })
+    res = run_sta(g, ZeroWires(), clock_period=200.0,
+                  constraints=constraints)
+    true_max_src = arcs[0][0]
+    assert int(res.best_pred[out_node]) == true_max_src, \
+        "best_pred must follow the true max-arrival arc, not edge order"
+    # And the worst path through g0 traces back to that arc's PI.
+    path_pins = res.critical_path(g0.output_pin)
+    assert int(g.pin_ids[driver_of[true_max_src]]) in path_pins
+
+
 def test_no_endpoints_reports_nan_not_valueerror():
     """Designs with no endpoints used to crash wns/max_arrival with a bare
     ``ValueError: min() arg is an empty sequence``; they now report NaN
