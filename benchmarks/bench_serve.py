@@ -1,0 +1,77 @@
+"""Serving — warm what-if latency vs. the cold full-flow path.
+
+The point of :mod:`repro.serve` is amortization: a resident
+:class:`~repro.serve.DesignSession` answers a what-if by incrementally
+re-featurizing only what an edit touched, where the one-shot path pays
+flow + sample build + predict from scratch.  This benchmark measures
+both on the same design and asserts the warm path's advantage.
+"""
+
+import statistics
+import time
+
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.flow import FlowConfig, run_flow
+from repro.ml.dataset import build_sample
+from repro.serve import DesignSession, Edit
+
+from benchmarks.conftest import run_once
+
+DESIGN = "xgate"
+FLOW_CONFIG = FlowConfig(scale=0.25, base_seed=0)
+MAP_BINS = 32
+N_WHATIFS = 20
+
+
+def _fitted_predictor(sample) -> TimingPredictor:
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=MAP_BINS),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit([sample])
+    return predictor
+
+
+def _cold_query_s(predictor) -> float:
+    """One-shot path: run the flow, build the sample, predict."""
+    t0 = time.perf_counter()
+    flow = run_flow(DESIGN, FLOW_CONFIG)
+    sample = build_sample(flow, map_bins=MAP_BINS, seed=0)
+    predictor.predict(sample)
+    return time.perf_counter() - t0
+
+
+def _warm_whatif_s(session) -> list:
+    """Median-friendly sample of warm what-if latencies."""
+    die = session.placement.die
+    cells = list(session.netlist.cells)
+    times = []
+    for i in range(N_WHATIFS):
+        cid = cells[i % len(cells)]
+        edit = Edit(op="move", cell=cid,
+                    x=die.width * ((i % 7) + 1) / 8.0,
+                    y=die.height * ((i % 5) + 1) / 6.0)
+        t0 = time.perf_counter()
+        session.whatif([edit], commit=False)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def test_serve_warm_vs_cold(benchmark):
+    def scenario():
+        flow = run_flow(DESIGN, FLOW_CONFIG)
+        sample = build_sample(flow, map_bins=MAP_BINS, seed=0)
+        predictor = _fitted_predictor(sample)
+
+        cold = statistics.median(_cold_query_s(predictor)
+                                 for _ in range(3))
+        session = DesignSession(run_flow(DESIGN, FLOW_CONFIG), predictor)
+        warm = statistics.median(_warm_whatif_s(session))
+        return cold, warm
+
+    cold, warm = run_once(benchmark, scenario)
+    speedup = cold / warm
+    print(f"\nServing — cold full-flow query {cold * 1e3:.0f} ms vs "
+          f"warm what-if {warm * 1e3:.1f} ms ({speedup:.0f}x)")
+    assert speedup >= 10.0, (
+        f"warm what-if must be >=10x faster than the cold path, "
+        f"got {speedup:.1f}x")

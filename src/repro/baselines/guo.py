@@ -12,7 +12,7 @@ labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +47,8 @@ class GuoConfig:
 class GuoBaseline:
     """Multi-task end-to-end GNN timing predictor."""
 
-    def __init__(self, config: GuoConfig = GuoConfig()) -> None:
+    def __init__(self, config: Optional[GuoConfig] = None) -> None:
+        config = config or GuoConfig()
         self.config = config
         rng = spawn_rng("baseline/guo", config.seed)
         self.gnn = EndpointGNN(config.hidden, CELL_FEATURE_DIM,

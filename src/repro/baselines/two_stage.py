@@ -10,7 +10,7 @@ paper adapts them (Section VI-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -40,8 +40,8 @@ class TwoStageConfig:
 class TwoStageBaseline:
     """Stage-delay MLP + PERT endpoint evaluation."""
 
-    def __init__(self, config: TwoStageConfig = TwoStageConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[TwoStageConfig] = None) -> None:
+        self.config = config or TwoStageConfig()
         self._model = None
         self._mean = 0.0
         self._std = 1.0

@@ -7,6 +7,7 @@ report    sign-off timing report (report_timing style)
 dataset   build / refresh the cached dataset
 train     train a predictor and save it
 predict   load a predictor and rank a design's endpoints
+serve     persistent what-if timing sessions over HTTP
 profile   trace one design end-to-end; per-stage runtime report
 table1/2/3  regenerate a paper table
 """
@@ -63,6 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
                       default=Path("data/predictor.pkl"))
     p_pr.add_argument("--top", type=int, default=10)
     p_pr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve persistent what-if timing sessions over HTTP")
+    p_srv.add_argument("--designs", nargs="*", default=["xgate"],
+                       help="preset designs to load as sessions "
+                            "(default: xgate)")
+    p_srv.add_argument("--scale", type=float, default=None,
+                       help="shrink the preset designs (e.g. 0.25)")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--model", type=Path,
+                       default=Path("data/predictor.pkl"),
+                       help="predictor artifact; when missing, a small "
+                            "bootstrap predictor is trained in-process")
+    p_srv.add_argument("--bootstrap-epochs", type=int, default=2,
+                       help="epochs for the bootstrap predictor "
+                            "(used only when --model is missing)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8787,
+                       help="listen port (0 picks a free one)")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="max concurrently executing requests")
+    p_srv.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline in seconds")
 
     p_prof = sub.add_parser(
         "profile",
@@ -189,6 +214,56 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Load (or bootstrap) a predictor, open sessions, serve HTTP."""
+    from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+    from repro.flow import FlowConfig, run_flow
+    from repro.ml.dataset import build_sample
+    from repro.serve import (
+        DesignSession,
+        PredictorRegistry,
+        ServerConfig,
+        TimingServer,
+    )
+
+    flow_config = FlowConfig(scale=args.scale, base_seed=args.seed)
+    flows = {d: run_flow(d, flow_config) for d in args.designs}
+
+    registry = PredictorRegistry()
+    if args.model.exists():
+        registry.register("default", args.model)
+        map_bins = registry.describe("default")["map_bins"]
+        samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
+                   for d, f in flows.items()}
+    else:
+        print(f"model {args.model} not found; bootstrapping a "
+              f"{args.bootstrap_epochs}-epoch predictor on "
+              f"{sorted(flows)}")
+        predictor = TimingPredictor(
+            model_config=ModelConfig(),
+            trainer_config=TrainerConfig(epochs=args.bootstrap_epochs))
+        map_bins = predictor.model_config.map_bins
+        samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
+                   for d, f in flows.items()}
+        predictor.fit(list(samples.values()))
+        registry.register_predictor("default", predictor)
+
+    sessions = {
+        d: DesignSession(flows[d], registry.acquire("default"),
+                         seed=args.seed, sample=samples[d])
+        for d in args.designs}
+    server = TimingServer(
+        sessions,
+        ServerConfig(host=args.host, port=args.port,
+                     max_workers=args.workers, deadline_s=args.deadline),
+        model_info=registry.describe("default"))
+    host, port = server.bind()
+    print(f"serving {sorted(sessions)} on http://{host}:{port}",
+          flush=True)
+    server.serve_forever()
+    return 0
+
+
 def cmd_profile(args) -> int:
     """End-to-end flow + predictor under tracing; aggregated stage report.
 
@@ -287,6 +362,7 @@ COMMANDS = {
     "dataset": cmd_dataset,
     "train": cmd_train,
     "predict": cmd_predict,
+    "serve": cmd_serve,
     "profile": cmd_profile,
     "table1": cmd_table1,
     "table2": cmd_table2,

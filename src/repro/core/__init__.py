@@ -5,11 +5,16 @@ from repro.core.fusion import VARIANTS, ModelConfig, RestructureTolerantModel
 from repro.core.gnn import EndpointGNN
 from repro.core.masking import (
     build_endpoint_masks,
+    build_endpoint_paths,
     longest_level_path,
     path_net_edges,
+    rasterize_endpoint_masks,
     rasterize_region,
 )
-from repro.core.predictor import TimingPredictor
+from repro.core.predictor import (
+    ARTIFACT_SCHEMA_VERSION,
+    TimingPredictor,
+)
 from repro.core.trainer import LabelNorm, Trainer, TrainerConfig
 
 __all__ = [
@@ -19,9 +24,12 @@ __all__ = [
     "RestructureTolerantModel",
     "EndpointGNN",
     "build_endpoint_masks",
+    "build_endpoint_paths",
     "longest_level_path",
     "path_net_edges",
+    "rasterize_endpoint_masks",
     "rasterize_region",
+    "ARTIFACT_SCHEMA_VERSION",
     "TimingPredictor",
     "LabelNorm",
     "Trainer",

@@ -53,7 +53,8 @@ class ModelConfig:
 class RestructureTolerantModel(Module):
     """End-to-end endpoint arrival-time predictor."""
 
-    def __init__(self, config: ModelConfig = ModelConfig()) -> None:
+    def __init__(self, config: Optional[ModelConfig] = None) -> None:
+        config = config or ModelConfig()
         self.config = config
         rng = spawn_rng(f"model/{config.variant}", config.seed)
         map_flat = (config.map_bins // 4) ** 2

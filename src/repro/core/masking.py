@@ -75,6 +75,35 @@ def rasterize_region(netlist: Netlist, placement: Placement,
     return mask
 
 
+def build_endpoint_paths(name: str, graph: TimingGraph,
+                         seed: int = 0) -> List[List[tuple]]:
+    """Per-endpoint critical-path net edges, in endpoint order.
+
+    The paths depend only on graph *topology* (plus the seeded tie-break
+    rng), not on placement, so callers that edit positions — notably
+    :class:`repro.serve.DesignSession` — can compute them once and
+    re-rasterize only the endpoints an edit touches.  The rng is spawned
+    and consumed exactly as :func:`build_endpoint_masks` always did, so
+    cached paths and a from-scratch mask build agree bit-for-bit.
+    """
+    rng = spawn_rng(f"mask/{name}", seed)
+    return [path_net_edges(graph, longest_level_path(graph, int(ep), rng))
+            for ep in graph.endpoints]
+
+
+def rasterize_endpoint_masks(netlist: Netlist, placement: Placement,
+                             paths: List[List[tuple]],
+                             map_bins: int) -> np.ndarray:
+    """Rasterize per-endpoint path edges into flattened boolean masks."""
+    require(map_bins % 4 == 0, "map_bins must be divisible by 4")
+    side = map_bins // 4
+    masks = np.zeros((len(paths), side * side), dtype=bool)
+    for k, edges in enumerate(paths):
+        masks[k] = rasterize_region(netlist, placement, edges,
+                                    side, side).ravel()
+    return masks
+
+
 def build_endpoint_masks(netlist: Netlist, placement: Placement,
                          graph: TimingGraph, map_bins: int,
                          seed: int = 0) -> np.ndarray:
@@ -84,13 +113,5 @@ def build_endpoint_masks(netlist: Netlist, placement: Placement,
     flattened mask per endpoint, at the resolution of the CNN output map
     (M/4 × N/4 for an M×N input, Section V-A).
     """
-    require(map_bins % 4 == 0, "map_bins must be divisible by 4")
-    side = map_bins // 4
-    rng = spawn_rng(f"mask/{netlist.name}", seed)
-    masks = np.zeros((len(graph.endpoints), side * side), dtype=bool)
-    for k, ep in enumerate(graph.endpoints):
-        path = longest_level_path(graph, int(ep), rng)
-        edges = path_net_edges(graph, path)
-        masks[k] = rasterize_region(netlist, placement, edges,
-                                    side, side).ravel()
-    return masks
+    paths = build_endpoint_paths(netlist.name, graph, seed)
+    return rasterize_endpoint_masks(netlist, placement, paths, map_bins)

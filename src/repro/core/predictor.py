@@ -8,8 +8,10 @@ instead of running optimization + routing + sign-off STA (Table III).
 from __future__ import annotations
 
 import pickle
+import warnings
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -21,15 +23,26 @@ from repro.nn import load_state_dict, state_dict
 from repro.obs import get_metrics, get_tracer
 from repro.utils import require
 
+#: Version of the on-disk predictor artifact.  v1 was an implicit,
+#: unversioned pickle of a :class:`ModelConfig` instance; v2 stores a
+#: plain-dict payload so artifacts survive dataclass refactors.  Bump on
+#: any payload layout change and teach :meth:`TimingPredictor.from_artifact`
+#: the migration.
+ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_FORMAT = "repro.timing-predictor"
+
 
 class TimingPredictor:
     """Restructure-tolerant pre-routing timing predictor."""
 
-    def __init__(self, model_config: ModelConfig = ModelConfig(),
-                 trainer_config: TrainerConfig = TrainerConfig()) -> None:
-        self.model_config = model_config
-        self.model = RestructureTolerantModel(model_config)
-        self.trainer = Trainer(self.model, trainer_config)
+    def __init__(self, model_config: Optional[ModelConfig] = None,
+                 trainer_config: Optional[TrainerConfig] = None) -> None:
+        # Defaults are constructed per instance (a `= ModelConfig()`
+        # default would be evaluated once at definition time and shared
+        # by every default-constructed predictor).
+        self.model_config = model_config or ModelConfig()
+        self.model = RestructureTolerantModel(self.model_config)
+        self.trainer = Trainer(self.model, trainer_config or TrainerConfig())
         self.infer_times: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -69,23 +82,68 @@ class TimingPredictor:
         return pred
 
     # ------------------------------------------------------------------
-    def save(self, path: Path) -> None:
-        """Persist config, weights and label normalization."""
+    def to_artifact(self) -> Dict[str, Any]:
+        """The versioned, plain-data artifact payload (schema v2).
+
+        Everything is stdlib/numpy data — no repro classes are pickled,
+        so saved artifacts keep loading across dataclass refactors.
+        """
         require(self.trainer.norm is not None, "fit() before save()")
-        payload = {
-            "model_config": self.model_config,
+        return {
+            "format": ARTIFACT_FORMAT,
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "model_config": asdict(self.model_config),
             "state": state_dict(self.model),
-            "norm": (self.trainer.norm.mean, self.trainer.norm.std),
+            "norm": {"mean": self.trainer.norm.mean,
+                     "std": self.trainer.norm.std},
         }
+
+    def save(self, path: Path) -> None:
+        """Persist config, weights and label normalization (schema v2)."""
         with open(path, "wb") as fh:
-            pickle.dump(payload, fh)
+            pickle.dump(self.to_artifact(), fh)
+
+    @classmethod
+    def from_artifact(cls, payload: Any,
+                      source: str = "<memory>") -> "TimingPredictor":
+        """Reconstruct a predictor from an artifact payload.
+
+        Accepts the current schema (v2), or the legacy unversioned format
+        (a pickled ``ModelConfig`` + ``(mean, std)`` tuple) with a
+        :class:`DeprecationWarning`.  Unknown newer versions are rejected
+        with an actionable error instead of mis-loading silently.
+        """
+        if not isinstance(payload, dict) or "model_config" not in payload:
+            raise ValueError(
+                f"{source} is not a repro predictor artifact "
+                "(expected a dict payload with a 'model_config' entry)")
+        version = payload.get("schema_version")
+        if version is None:
+            warnings.warn(
+                f"{source} uses the legacy unversioned predictor format; "
+                "re-save it with TimingPredictor.save() to upgrade to "
+                f"schema v{ARTIFACT_SCHEMA_VERSION}",
+                DeprecationWarning, stacklevel=2)
+            model_config = payload["model_config"]
+            mean, std = payload["norm"]
+        elif version == ARTIFACT_SCHEMA_VERSION:
+            model_config = ModelConfig(**payload["model_config"])
+            mean, std = payload["norm"]["mean"], payload["norm"]["std"]
+        else:
+            raise ValueError(
+                f"{source} has predictor artifact schema_version "
+                f"{version!r}, but this build only supports "
+                f"{ARTIFACT_SCHEMA_VERSION} (and the legacy unversioned "
+                "format). Upgrade repro to load it, or re-train and "
+                "re-save the predictor with this version.")
+        predictor = cls(model_config=model_config)
+        load_state_dict(predictor.model, payload["state"])
+        predictor.trainer.norm = LabelNorm(mean=mean, std=std)
+        return predictor
 
     @classmethod
     def load(cls, path: Path) -> "TimingPredictor":
+        """Load a saved artifact (current or legacy schema, see above)."""
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
-        predictor = cls(model_config=payload["model_config"])
-        load_state_dict(predictor.model, payload["state"])
-        mean, std = payload["norm"]
-        predictor.trainer.norm = LabelNorm(mean=mean, std=std)
-        return predictor
+        return cls.from_artifact(payload, source=str(path))

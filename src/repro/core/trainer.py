@@ -62,9 +62,9 @@ class Trainer:
     """Fits a :class:`RestructureTolerantModel` on design samples."""
 
     def __init__(self, model: RestructureTolerantModel,
-                 config: TrainerConfig = TrainerConfig()) -> None:
+                 config: Optional[TrainerConfig] = None) -> None:
         self.model = model
-        self.config = config
+        self.config = config or TrainerConfig()
         self.norm: Optional[LabelNorm] = None
         self.history: List[float] = []
 

@@ -105,8 +105,10 @@ class FlowResult:
         return labels
 
 
-def run_flow(design: str, config: FlowConfig = FlowConfig()) -> FlowResult:
+def run_flow(design: str,
+             config: Optional[FlowConfig] = None) -> FlowResult:
     """Run the full reference flow on a named preset design."""
+    config = config or FlowConfig()
     require(design in DESIGN_PRESETS, f"unknown design {design!r}")
     spec = DESIGN_PRESETS[design]
     if config.scale is not None:
@@ -115,8 +117,9 @@ def run_flow(design: str, config: FlowConfig = FlowConfig()) -> FlowResult:
 
 
 def run_flow_on_spec(spec: DesignSpec,
-                     config: FlowConfig = FlowConfig()) -> FlowResult:
+                     config: Optional[FlowConfig] = None) -> FlowResult:
     """Run the full reference flow on an explicit :class:`DesignSpec`."""
+    config = config or FlowConfig()
     timer = StageTimer(design=spec.name)
 
     netlist = generate_netlist(spec, config.base_seed)

@@ -11,6 +11,9 @@ from repro.ml.dataset import (
 from repro.ml.features import (
     CELL_FEATURE_DIM,
     NET_FEATURE_DIM,
+    cell_feature_row,
+    net_feature_row,
+    net_output_load,
     node_features,
 )
 from repro.ml.parallel import (
@@ -29,6 +32,9 @@ __all__ = [
     "sample_cache_path",
     "CELL_FEATURE_DIM",
     "NET_FEATURE_DIM",
+    "cell_feature_row",
+    "net_feature_row",
+    "net_output_load",
     "node_features",
     "BuildReport",
     "DesignBuildStatus",

@@ -42,6 +42,70 @@ NET_FEATURE_DIM = 3
 CELL_FEATURE_DIM = 5 + len(GATE_KINDS)
 
 
+def net_output_load(netlist: Netlist, placement: Placement,
+                    nid: int) -> float:
+    """Estimated capacitive load of one net (sink pin caps + star wire cap).
+
+    Shared between the full feature pass below and the incremental
+    re-featurization in :mod:`repro.serve` — both must accumulate the sink
+    terms in net order so recomputed values are bit-identical.
+    """
+    lib = netlist.library
+    wire = lib.wire
+    net = netlist.nets[nid]
+    xd, yd = placement.pin_position(netlist, net.driver)
+    load = 0.0
+    for sp in net.sinks:
+        spin = netlist.pins[sp]
+        if spin.cell is not None:
+            load += lib.cell(netlist.cells[spin.cell].type_name).input_cap
+        else:
+            load += 2.0  # output pad
+        xs, ys = placement.pin_position(netlist, sp)
+        load += wire.capacitance(abs(xd - xs) + abs(yd - ys))
+    return load
+
+
+def cell_feature_row(netlist: Netlist, placement: Placement,
+                     pid: int) -> np.ndarray:
+    """The x_cell row of one CELL_OUT pin (drive, caps, load, one-hot)."""
+    lib = netlist.library
+    pin = netlist.pins[pid]
+    ctype = lib.cell(netlist.cells[pin.cell].type_name)
+    load = (net_output_load(netlist, placement, pin.net)
+            if pin.net is not None else 0.0)
+    row = np.zeros(CELL_FEATURE_DIM)
+    row[0] = ctype.drive / DRIVE_SCALE
+    row[1] = ctype.input_cap / PIN_CAP_SCALE
+    row[2] = (len(netlist.nets[pin.net].sinks) / FANOUT_SCALE
+              if pin.net is not None else 0.0)
+    row[3] = load / LOAD_SCALE
+    row[4] = ctype.drive_resistance * load / DELAY_SCALE
+    row[5 + lib.kind_index(ctype.kind.name)] = 1.0
+    return row
+
+
+def net_feature_row(netlist: Netlist, placement: Placement,
+                    pid: int) -> np.ndarray:
+    """The x_net row of one NET_SINK pin (distance, wire delay, sink cap)."""
+    lib = netlist.library
+    wire = lib.wire
+    pin = netlist.pins[pid]
+    net = netlist.nets[pin.net]
+    xd, yd = placement.pin_position(netlist, net.driver)
+    xs, ys = placement.pin_position(netlist, pid)
+    dist = abs(xd - xs) + abs(yd - ys)
+    sink_cap = (lib.cell(netlist.cells[pin.cell].type_name).input_cap
+                if pin.cell is not None else 2.0)
+    wire_delay = wire.resistance(dist) * (
+        0.5 * wire.capacitance(dist) + sink_cap)
+    row = np.zeros(NET_FEATURE_DIM)
+    row[0] = dist / DISTANCE_SCALE
+    row[1] = wire_delay / DELAY_SCALE
+    row[2] = sink_cap / PIN_CAP_SCALE
+    return row
+
+
 def node_features(netlist: Netlist, placement: Placement,
                   graph: TimingGraph) -> Tuple[np.ndarray, np.ndarray]:
     """Compute (x_cell, x_net) feature matrices for all nodes.
@@ -49,50 +113,12 @@ def node_features(netlist: Netlist, placement: Placement,
     ``x_cell[i]`` is nonzero only for CELL_OUT nodes, ``x_net[i]`` only for
     NET_SINK nodes; the GNN consumes each where appropriate (Eq. (3)).
     """
-    lib = netlist.library
-    wire = lib.wire
     n = graph.n_nodes
     x_cell = np.zeros((n, CELL_FEATURE_DIM))
     x_net = np.zeros((n, NET_FEATURE_DIM))
-
-    # Estimated output load per net (sink pin caps + star wire cap).
-    net_load = {}
-    for nid, net in netlist.nets.items():
-        xd, yd = placement.pin_position(netlist, net.driver)
-        load = 0.0
-        for sp in net.sinks:
-            spin = netlist.pins[sp]
-            if spin.cell is not None:
-                load += lib.cell(netlist.cells[spin.cell].type_name).input_cap
-            else:
-                load += 2.0  # output pad
-            xs, ys = placement.pin_position(netlist, sp)
-            load += wire.capacitance(abs(xd - xs) + abs(yd - ys))
-        net_load[nid] = load
-
     for i, pid in enumerate(graph.pin_ids):
-        pin = netlist.pins[int(pid)]
         if graph.kind[i] == CELL_OUT:
-            ctype = lib.cell(netlist.cells[pin.cell].type_name)
-            load = net_load.get(pin.net, 0.0)
-            x_cell[i, 0] = ctype.drive / DRIVE_SCALE
-            x_cell[i, 1] = ctype.input_cap / PIN_CAP_SCALE
-            x_cell[i, 2] = (len(netlist.nets[pin.net].sinks) / FANOUT_SCALE
-                            if pin.net is not None else 0.0)
-            x_cell[i, 3] = load / LOAD_SCALE
-            x_cell[i, 4] = ctype.drive_resistance * load / DELAY_SCALE
-            x_cell[i, 5 + lib.kind_index(ctype.kind.name)] = 1.0
+            x_cell[i] = cell_feature_row(netlist, placement, int(pid))
         elif graph.kind[i] == NET_SINK:
-            net = netlist.nets[pin.net]
-            xd, yd = placement.pin_position(netlist, net.driver)
-            xs, ys = placement.pin_position(netlist, int(pid))
-            dist = abs(xd - xs) + abs(yd - ys)
-            sink_cap = (lib.cell(
-                netlist.cells[pin.cell].type_name).input_cap
-                if pin.cell is not None else 2.0)
-            wire_delay = wire.resistance(dist) * (
-                0.5 * wire.capacitance(dist) + sink_cap)
-            x_net[i, 0] = dist / DISTANCE_SCALE
-            x_net[i, 1] = wire_delay / DELAY_SCALE
-            x_net[i, 2] = sink_cap / PIN_CAP_SCALE
+            x_net[i] = net_feature_row(netlist, placement, int(pid))
     return x_cell, x_net

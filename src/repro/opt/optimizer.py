@@ -47,7 +47,8 @@ class TimingOptimizer:
     """Optimizes *netlist* / *placement* in place (pass clones!)."""
 
     def __init__(self, netlist: Netlist, placement: Placement,
-                 config: OptimizerConfig = OptimizerConfig()) -> None:
+                 config: Optional[OptimizerConfig] = None) -> None:
+        config = config or OptimizerConfig()
         self.netlist = netlist
         self.placement = placement
         self.config = config

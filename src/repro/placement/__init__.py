@@ -12,7 +12,14 @@ from repro.placement.legalize import (
     reclaim_sites,
     release_cell_sites,
 )
-from repro.placement.density import LayoutMaps, compute_layout_maps
+from repro.placement.density import (
+    LayoutMaps,
+    bin_span,
+    cell_extent,
+    compute_layout_maps,
+    recompute_density_region,
+    recompute_rudy_region,
+)
 from repro.placement.defio import read_def, write_def
 
 __all__ = [
@@ -32,7 +39,11 @@ __all__ = [
     "release_cell_sites",
     "legalize",
     "LayoutMaps",
+    "bin_span",
+    "cell_extent",
     "compute_layout_maps",
+    "recompute_density_region",
+    "recompute_rudy_region",
     "read_def",
     "write_def",
 ]

@@ -10,6 +10,7 @@ Map convention: ``map[i, j]`` covers x-bin ``i`` and y-bin ``j``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,6 +55,37 @@ def _axis_overlap(lo: float, hi: float, n_bins: int,
     edges = np.arange(b0, b1 + 2) * bin_size
     overlaps = np.minimum(edges[1:], hi) - np.maximum(edges[:-1], lo)
     return b0, np.clip(overlaps, 0.0, None)
+
+
+def bin_span(lo: float, hi: float, n_bins: int, bin_size: float) -> tuple:
+    """Inclusive (first, last) bin indices covered by [lo, hi].
+
+    Pure-scalar fast path that agrees exactly with the bin range
+    :func:`_axis_overlap` produces (cheap enough to run as a prefilter
+    for every cell/net during a region recompute).
+    """
+    if lo < 0.0:
+        lo = 0.0
+    if hi < lo:
+        hi = lo
+    b0 = int(lo / bin_size)
+    if b0 > n_bins - 1:
+        b0 = n_bins - 1
+    b1 = int(math.ceil(hi / bin_size)) - 1
+    if b1 < b0:
+        b1 = b0
+    elif b1 > n_bins - 1:
+        b1 = n_bins - 1
+    return b0, b1
+
+
+def cell_extent(netlist: Netlist, placement: Placement,
+                cid: int) -> tuple:
+    """(x0, x1, y0, y1) footprint a cell contributes to the density map."""
+    x, y = placement.cell_xy[cid]
+    area = netlist.cell_type(cid).area
+    half_w = 0.5 * max(area / 1.0, 1.0)
+    return x - half_w, x + half_w, y - 0.5, y + 0.5
 
 
 def compute_layout_maps(netlist: Netlist, placement: Placement,
@@ -106,3 +138,103 @@ def compute_layout_maps(netlist: Netlist, placement: Placement,
 
     return LayoutMaps(cell_density=density, rudy=rudy, macro=macro,
                       bin_w=bin_w, bin_h=bin_h)
+
+
+def _net_bbox(netlist: Netlist, placement: Placement, net) -> tuple:
+    """(x0, y0, x1, y1) of a net's pins — scalar min/max, identical
+    values to the array reduction in :func:`compute_layout_maps`."""
+    x0 = y0 = math.inf
+    x1 = y1 = -math.inf
+    for pid in (net.driver, *net.sinks):
+        x, y = placement.pin_position(netlist, pid)
+        if x < x0:
+            x0 = x
+        if x > x1:
+            x1 = x
+        if y < y0:
+            y0 = y
+        if y > y1:
+            y1 = y
+    return x0, y0, x1, y1
+
+
+def _slice_add(acc: np.ndarray, i0: int, j0: int, patch: np.ndarray,
+               r0: int, r1: int, c0: int, c1: int) -> None:
+    """Add the part of *patch* (whose [0,0] sits at global bin (i0, j0))
+    that falls inside the global bin window rows [r0, r1] / cols [c0, c1]
+    into *acc* (whose [0,0] sits at (r0, c0))."""
+    pi0 = max(r0 - i0, 0)
+    pi1 = min(r1 - i0, patch.shape[0] - 1)
+    pj0 = max(c0 - j0, 0)
+    pj1 = min(c1 - j0, patch.shape[1] - 1)
+    if pi0 > pi1 or pj0 > pj1:
+        return
+    acc[i0 + pi0 - r0:i0 + pi1 - r0 + 1,
+        j0 + pj0 - c0:j0 + pj1 - c0 + 1] += patch[pi0:pi1 + 1, pj0:pj1 + 1]
+
+
+def recompute_density_region(netlist: Netlist, placement: Placement,
+                             density: np.ndarray, r0: int, r1: int,
+                             c0: int, c1: int) -> None:
+    """Recompute the density bins [r0..r1] × [c0..c1] in place.
+
+    The recomputed bins are **bit-identical** to a full
+    :func:`compute_layout_maps` pass: cells are visited in the same
+    order, each contribution patch is computed by the same arithmetic,
+    and the bin-area division is applied once after accumulation —
+    exactly as in the full pass.  Used by the incremental what-if
+    featurizer (:mod:`repro.serve`) to refresh only touched bins.
+    """
+    m, n = density.shape
+    die = placement.die
+    bin_w = die.width / m
+    bin_h = die.height / n
+    acc = np.zeros((r1 - r0 + 1, c1 - c0 + 1))
+    for cid, (x, y) in placement.cell_xy.items():
+        area = netlist.cell_type(cid).area
+        half_w = 0.5 * max(area / 1.0, 1.0)
+        # Cheap scalar span test first; _axis_overlap (array math) only
+        # runs for the few cells actually intersecting the region.
+        i0, i1 = bin_span(x - half_w, x + half_w, m, bin_w)
+        j0, j1 = bin_span(y - 0.5, y + 0.5, n, bin_h)
+        if i0 > r1 or i1 < r0 or j0 > c1 or j1 < c0:
+            continue
+        i0, wx = _axis_overlap(x - half_w, x + half_w, m, bin_w)
+        j0, wy = _axis_overlap(y - 0.5, y + 0.5, n, bin_h)
+        patch = np.outer(wx, wy)
+        total = patch.sum()
+        if total > 0:
+            _slice_add(acc, i0, j0, area * patch / total, r0, r1, c0, c1)
+    density[r0:r1 + 1, c0:c1 + 1] = acc / (bin_w * bin_h)
+
+
+def recompute_rudy_region(netlist: Netlist, placement: Placement,
+                          rudy: np.ndarray, r0: int, r1: int,
+                          c0: int, c1: int) -> None:
+    """Recompute the RUDY bins [r0..r1] × [c0..c1] in place.
+
+    Bit-identical to the full pass for the same reason as
+    :func:`recompute_density_region` (same net order, same per-net
+    patch arithmetic including the per-contribution bin-area division).
+    """
+    m, n = rudy.shape
+    die = placement.die
+    bin_w = die.width / m
+    bin_h = die.height / n
+    bin_area = bin_w * bin_h
+    eps = 1e-6
+    acc = np.zeros((r1 - r0 + 1, c1 - c0 + 1))
+    for nid, net in netlist.nets.items():
+        x0, y0, x1, y1 = _net_bbox(netlist, placement, net)
+        w = max(x1 - x0, eps)
+        h = max(y1 - y0, eps)
+        i0, i1 = bin_span(x0, x1, m, bin_w)
+        j0, j1 = bin_span(y0, y1, n, bin_h)
+        if i0 > r1 or i1 < r0 or j0 > c1 or j1 < c0:
+            continue
+        i0, wx = _axis_overlap(x0, x1, m, bin_w)
+        j0, wy = _axis_overlap(y0, y1, n, bin_h)
+        wire_density = (w + h) / (w * h)
+        patch = np.outer(wx, wy) / bin_area
+        _slice_add(acc, i0, j0, wire_density * patch, r0, r1, c0, c1)
+    rudy[r0:r1 + 1, c0:c1 + 1] = acc

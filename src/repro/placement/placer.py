@@ -14,7 +14,7 @@ layout-gated optimizer, and the router.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,8 +74,9 @@ class PlacerConfig:
 
 
 def place(netlist: Netlist, die: Die,
-          config: PlacerConfig = PlacerConfig()) -> Placement:
+          config: Optional[PlacerConfig] = None) -> Placement:
     """Run global placement + legalization for *netlist* on *die*."""
+    config = config or PlacerConfig()
     require(len(netlist.cells) > 0, "cannot place an empty netlist")
     rng = spawn_rng(f"place/{netlist.name}", config.seed)
 

@@ -19,7 +19,7 @@ small deterministic detailed-routing jitter).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -69,8 +69,9 @@ class RoutingResult:
 
 
 def route(netlist: Netlist, placement: Placement,
-          config: RouterConfig = RouterConfig()) -> RoutingResult:
+          config: Optional[RouterConfig] = None) -> RoutingResult:
     """Globally route every net of a placed netlist."""
+    config = config or RouterConfig()
     die = placement.die
     gx = max(2, int(np.ceil(die.width / config.gcell_um)))
     gy = max(2, int(np.ceil(die.height / config.gcell_um)))

@@ -1,0 +1,34 @@
+"""Persistent what-if timing serving.
+
+Layering (see DESIGN.md):
+
+* :class:`DesignSession` — one design's resident flow artifacts +
+  prepared sample + incremental featurizer/STA; answers predictions and
+  what-if edits without re-running the flow.
+* :class:`PredictorRegistry` — validated, versioned model artifacts,
+  served read-only; hands a fresh predictor instance to each session.
+* :class:`TimingServer` — stdlib JSON-over-HTTP front end with bounded
+  concurrency, per-request deadlines and structured errors.
+"""
+
+from repro.serve.featurize import IncrementalFeaturizer
+from repro.serve.registry import PredictorRegistry
+from repro.serve.server import (
+    API_VERSION,
+    ApiError,
+    ServerConfig,
+    TimingServer,
+)
+from repro.serve.session import EDIT_OPS, DesignSession, Edit
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "DesignSession",
+    "EDIT_OPS",
+    "Edit",
+    "IncrementalFeaturizer",
+    "PredictorRegistry",
+    "ServerConfig",
+    "TimingServer",
+]

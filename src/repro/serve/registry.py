@@ -1,0 +1,114 @@
+"""Versioned model-artifact registry for serving.
+
+The registry sits between the artifact files on disk and the sessions
+that serve them:
+
+* ``register(name, path)`` validates an artifact eagerly — schema
+  version, payload shape, instantiability — so a bad file fails at
+  startup, not on the first request;
+* ``acquire(name)`` hands out a **fresh** :class:`TimingPredictor` built
+  from the cached payload.  The payload is read and validated once and
+  then served read-only; each session gets its own instance because the
+  model's forward pass keeps per-layer caches and is therefore not
+  shareable across concurrently running sessions.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.predictor import (
+    ARTIFACT_SCHEMA_VERSION,
+    TimingPredictor,
+)
+from repro.obs import get_metrics
+from repro.utils import get_logger, require
+
+logger = get_logger("serve.registry")
+
+
+class PredictorRegistry:
+    """Thread-safe name → validated artifact payload map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._payloads: Dict[str, Any] = {}
+        self._meta: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, path: Path) -> Dict[str, Any]:
+        """Load, validate and cache an artifact under *name*.
+
+        Raises ``FileNotFoundError`` / ``ValueError`` on a missing or
+        invalid artifact (including unsupported ``schema_version``).
+        Returns the artifact's metadata.
+        """
+        path = Path(path)
+        require(path.exists(), f"predictor artifact not found: {path}")
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        # Instantiate once to validate schema + weights end to end.
+        probe = TimingPredictor.from_artifact(payload, source=str(path))
+        meta = {
+            "name": name,
+            "path": str(path),
+            "schema_version": payload.get("schema_version", "legacy")
+            if isinstance(payload, dict) else "legacy",
+            "variant": probe.model_config.variant,
+            "map_bins": probe.model_config.map_bins,
+            "n_parameters": sum(p.data.size
+                                for p in probe.model.parameters()),
+        }
+        with self._lock:
+            self._payloads[name] = payload
+            self._meta[name] = meta
+        get_metrics().counter("serve.registry.registered").inc()
+        logger.info("registered predictor %r from %s (schema %s)", name,
+                    path, meta["schema_version"])
+        return dict(meta)
+
+    def register_predictor(self, name: str,
+                           predictor: TimingPredictor) -> Dict[str, Any]:
+        """Register an in-memory fitted predictor (bootstrap mode)."""
+        payload = predictor.to_artifact()
+        meta = {
+            "name": name,
+            "path": "<memory>",
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "variant": predictor.model_config.variant,
+            "map_bins": predictor.model_config.map_bins,
+            "n_parameters": sum(p.data.size
+                                for p in predictor.model.parameters()),
+        }
+        with self._lock:
+            self._payloads[name] = payload
+            self._meta[name] = meta
+        return dict(meta)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._payloads)
+
+    def describe(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Metadata for one artifact, or for all when *name* is None."""
+        with self._lock:
+            if name is not None:
+                require(name in self._meta,
+                        f"no registered predictor {name!r}")
+                return dict(self._meta[name])
+            return {n: dict(m) for n, m in self._meta.items()}
+
+    def acquire(self, name: str) -> TimingPredictor:
+        """A fresh predictor instance backed by the cached payload."""
+        with self._lock:
+            require(name in self._payloads,
+                    f"no registered predictor {name!r} "
+                    f"(have: {sorted(self._payloads) or 'none'})")
+            payload = self._payloads[name]
+            source = self._meta[name]["path"]
+        get_metrics().counter("serve.registry.acquired").inc()
+        return TimingPredictor.from_artifact(payload, source=source)

@@ -1,0 +1,319 @@
+"""JSON-over-HTTP serving front end (stdlib only).
+
+A :class:`TimingServer` exposes the sessions over a
+``ThreadingHTTPServer``:
+
+====================  ======================================================
+``GET  /health``      liveness + model/designs summary
+``GET  /designs``     per-session state (endpoints, revision, ...)
+``GET  /metrics``     live metrics snapshot incl. request-latency
+                      percentiles (p50/p95) from ``repro.obs``
+``POST /predict``     ``{"design", "endpoints"?}`` → batched predictions
+``POST /whatif``      ``{"design", "edits": [...], "commit"?}`` →
+                      edit → incremental re-featurize → re-predict
+====================  ======================================================
+
+Operational guarantees:
+
+* **Bounded concurrency** — a semaphore of ``max_workers`` slots; excess
+  requests queue for their remaining deadline budget, then get a
+  structured 503.
+* **Per-request deadline** — ``deadline_s`` (config default, overridable
+  per request body); exceeding it returns a structured 504.
+* **Structured errors** — every failure is
+  ``{"error": {"code", "message"}}`` with a matching HTTP status.
+* **Observability** — every request runs inside a ``serve.request``
+  span and lands in per-route latency histograms, so ``/metrics``
+  reports live percentiles from the same ``repro.obs`` registry the
+  rest of the system uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs import get_metrics, get_tracer
+from repro.serve.session import DesignSession
+from repro.utils import get_logger
+
+logger = get_logger("serve.server")
+
+#: Protocol version reported by /health; bump on breaking API changes.
+API_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    max_workers: int = 4     # concurrently *executing* requests
+    deadline_s: float = 30.0  # per-request budget (queue wait included)
+
+
+class ApiError(Exception):
+    """An error with a wire representation."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class _Deadline:
+    """Tracks one request's time budget."""
+
+    def __init__(self, budget_s: float) -> None:
+        self.start = time.perf_counter()
+        self.budget_s = budget_s
+
+    @property
+    def remaining(self) -> float:
+        return self.budget_s - (time.perf_counter() - self.start)
+
+    def check(self, where: str) -> None:
+        if self.remaining <= 0.0:
+            raise ApiError(504, "deadline_exceeded",
+                           f"request exceeded its {self.budget_s:.3g}s "
+                           f"deadline ({where})")
+
+
+class TimingServer:
+    """Owns the sessions and the HTTP front end."""
+
+    def __init__(self, sessions: Dict[str, DesignSession],
+                 config: Optional[ServerConfig] = None,
+                 model_info: Optional[Dict[str, Any]] = None) -> None:
+        self.sessions = dict(sessions)
+        self.config = config or ServerConfig()
+        self.model_info = model_info or {}
+        self.started_at = time.time()
+        self._slots = threading.Semaphore(self.config.max_workers)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self) -> tuple:
+        """Bind the listening socket now; returns (host, port).
+
+        Idempotent.  Lets a caller learn the resolved port (``port=0``)
+        before the serving loop starts.
+        """
+        if self._httpd is None:
+            self._httpd = _make_httpd(self)
+        return self.address
+
+    def start(self) -> "TimingServer":
+        """Bind and serve on a background thread (tests, embedding)."""
+        self.bind()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve",
+            daemon=True)
+        self._thread.start()
+        logger.info("serving %d design(s) on http://%s:%d",
+                    len(self.sessions), *self.address)
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (CLI)."""
+        self.bind()
+        logger.info("serving %d design(s) on http://%s:%d",
+                    len(self.sessions), *self.address)
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    @property
+    def address(self) -> tuple:
+        """(host, actual port) — port resolves 0 to the bound port."""
+        if self._httpd is not None:
+            return self._httpd.server_address[:2]
+        return (self.config.host, self.config.port)
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        route = (method, path)
+        budget = self.config.deadline_s
+        if isinstance(body, dict) and "deadline_s" in body:
+            budget = min(budget, float(body["deadline_s"]))
+        deadline = _Deadline(budget)
+        if not self._slots.acquire(timeout=max(deadline.remaining, 0.0)):
+            get_metrics().counter("serve.rejected.overload").inc()
+            raise ApiError(503, "overloaded",
+                           f"no worker slot within the {budget:.3g}s "
+                           "deadline; retry later")
+        try:
+            deadline.check("after queueing")
+            if route == ("GET", "/health"):
+                return self._health()
+            if route == ("GET", "/designs"):
+                return {"designs": {name: s.describe()
+                                    for name, s in self.sessions.items()}}
+            if route == ("GET", "/metrics"):
+                return {"metrics": get_metrics().snapshot()}
+            if route == ("POST", "/predict"):
+                return self._predict(body or {}, deadline)
+            if route == ("POST", "/whatif"):
+                return self._whatif(body or {}, deadline)
+            raise ApiError(404, "no_such_route",
+                           f"no route {method} {path}")
+        finally:
+            self._slots.release()
+
+    def _session(self, body: Dict[str, Any]) -> DesignSession:
+        design = body.get("design")
+        if design is None and len(self.sessions) == 1:
+            design = next(iter(self.sessions))
+        if design not in self.sessions:
+            raise ApiError(404, "unknown_design",
+                           f"design {design!r} is not served "
+                           f"(have: {sorted(self.sessions)})")
+        return self.sessions[design]
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "designs": sorted(self.sessions),
+            "model": self.model_info,
+            "uptime_s": time.time() - self.started_at,
+        }
+
+    def _predict(self, body: Dict[str, Any],
+                 deadline: _Deadline) -> Dict[str, Any]:
+        session = self._session(body)
+        endpoints = body.get("endpoints")
+        if endpoints is not None and not isinstance(endpoints, list):
+            raise ApiError(400, "bad_request",
+                           "'endpoints' must be a list of pin ids")
+        try:
+            predictions = session.predict(endpoints)
+        except ValueError as exc:
+            raise ApiError(400, "bad_request", str(exc)) from exc
+        deadline.check("after predict")
+        return {
+            "design": session.name,
+            "revision": session.revision,
+            "n_endpoints": len(predictions),
+            "predictions": {str(p): float(v)
+                            for p, v in predictions.items()},
+        }
+
+    def _whatif(self, body: Dict[str, Any],
+                deadline: _Deadline) -> Dict[str, Any]:
+        session = self._session(body)
+        edits = body.get("edits")
+        if not isinstance(edits, list) or not edits:
+            raise ApiError(400, "bad_request",
+                           "'edits' must be a non-empty list")
+        try:
+            result = session.whatif(edits, commit=bool(body.get("commit",
+                                                                False)))
+        except ValueError as exc:
+            raise ApiError(400, "bad_request", str(exc)) from exc
+        deadline.check("after whatif")
+        result["predictions"] = {str(p): v
+                                 for p, v in result["predictions"].items()}
+        return result
+
+
+# ----------------------------------------------------------------------
+# stdlib HTTP plumbing
+# ----------------------------------------------------------------------
+def _make_httpd(app: TimingServer) -> ThreadingHTTPServer:
+    httpd = ThreadingHTTPServer((app.config.host, app.config.port),
+                                _Handler)
+    httpd.daemon_threads = True
+    httpd.app = app  # type: ignore[attr-defined]
+    return httpd
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # Route HTTP-server chatter through our logger instead of stderr.
+    def log_message(self, fmt: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        self._dispatch("GET", body=None)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b"{}"
+            body = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send(400, {"error": {"code": "bad_json",
+                                       "message": str(exc)}})
+            return
+        self._dispatch("POST", body=body)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, body: Optional[Dict[str, Any]]
+                  ) -> None:
+        app: TimingServer = self.server.app  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route_label = f"{method} {path}"
+        metrics = get_metrics()
+        sp = get_tracer().span("serve.request", route=route_label,
+                               design=(body or {}).get("design"))
+        status = 500
+        try:
+            with sp:
+                try:
+                    payload = app.handle(method, path, body)
+                    status = 200
+                except ApiError as exc:
+                    status = exc.status
+                    payload = {"error": {"code": exc.code,
+                                         "message": exc.message}}
+                except Exception as exc:  # noqa: BLE001 — wire boundary
+                    logger.exception("unhandled error on %s", route_label)
+                    status = 500
+                    payload = {"error": {"code": "internal",
+                                         "message": f"{type(exc).__name__}:"
+                                                    f" {exc}"}}
+                sp.set(status=status)
+            self._send(status, payload)
+        finally:
+            ms = sp.duration * 1e3
+            metrics.counter("serve.requests").inc()
+            metrics.histogram("serve.latency_ms").observe(ms)
+            metrics.histogram(f"serve.latency_ms.{method} {path}"
+                              ).observe(ms)
+            if status >= 400:
+                metrics.counter("serve.errors").inc()
+                metrics.counter(f"serve.errors.{status}").inc()
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)

@@ -1,0 +1,262 @@
+"""Persistent per-design what-if sessions.
+
+The paper's value proposition (Table III) is that a trained predictor
+answers "what is the sign-off arrival at each endpoint of *this*
+placement" in milliseconds instead of minutes of opt + route + sign-off
+STA.  The one-shot CLI pays the flow, the sample build and the model load
+on every call; a :class:`DesignSession` pays them **once**:
+
+* the design's flow artifacts (input netlist + placement) and its
+  prepared :class:`~repro.ml.sample.DesignSample` stay resident,
+* an :class:`~repro.timing.IncrementalSTA` stays attached to the
+  pre-routing view, so every what-if also reports the fast analytic
+  pre-route WNS/TNS next to the model's sign-off prediction,
+* what-if edits (resize / move) re-featurize only what they touched
+  (see :mod:`repro.serve.featurize`) and re-predict.
+
+Sessions are thread-safe (one internal lock — the underlying model's
+forward pass keeps per-layer caches, so calls are serialized per
+session).  Cross-design concurrency comes from running many sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.masking import build_endpoint_paths
+from repro.core.predictor import TimingPredictor
+from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.ml.dataset import build_sample
+from repro.ml.sample import DesignSample
+from repro.obs import get_metrics, get_tracer
+from repro.serve.featurize import IncrementalFeaturizer
+from repro.timing import IncrementalSTA, build_timing_graph
+from repro.utils import get_logger, require
+
+logger = get_logger("serve.session")
+
+EDIT_OPS = ("resize", "move")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One what-if edit: gate resize or cell move (topology-preserving)."""
+
+    op: str                         # "resize" | "move"
+    cell: int
+    type_name: Optional[str] = None  # resize target library cell
+    x: Optional[float] = None        # move target coordinates (µm)
+    y: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Edit":
+        """Parse/validate the wire format used by the HTTP API."""
+        require(isinstance(d, dict), f"edit must be an object, got {d!r}")
+        op = d.get("op")
+        require(op in EDIT_OPS, f"edit op must be one of {EDIT_OPS}, "
+                                f"got {op!r}")
+        require("cell" in d, "edit is missing 'cell'")
+        cell = int(d["cell"])
+        if op == "resize":
+            require(isinstance(d.get("type"), str),
+                    "resize edit needs a 'type' (library cell name)")
+            return cls(op="resize", cell=cell, type_name=d["type"])
+        require("x" in d and "y" in d, "move edit needs 'x' and 'y'")
+        return cls(op="move", cell=cell, x=float(d["x"]), y=float(d["y"]))
+
+
+class DesignSession:
+    """A long-lived, editable view of one design for the predictor.
+
+    Parameters
+    ----------
+    flow:
+        A completed :class:`~repro.flow.FlowResult`.  The session *owns*
+        the flow's pre-routing artifacts (input netlist + placement) and
+        mutates them on committed edits — do not share them.
+    predictor:
+        A fitted :class:`TimingPredictor`.  Sessions only call its
+        ``predict``; one predictor instance must not be shared across
+        sessions that run concurrently (its forward pass caches state).
+    """
+
+    def __init__(self, flow: FlowResult, predictor: TimingPredictor,
+                 seed: int = 0,
+                 sample: Optional[DesignSample] = None) -> None:
+        require(predictor.trainer.norm is not None,
+                "predictor must be fitted (or loaded) before serving")
+        self.name = flow.name
+        self.predictor = predictor
+        self.seed = seed
+        self.netlist = flow.input_netlist
+        self.placement = flow.input_placement
+        self.clock_period = flow.clock_period
+        self.revision = 0          # bumped on every committed edit batch
+        self.whatifs_served = 0
+        self._lock = threading.RLock()
+        # Predictions at the current committed state; the state only
+        # changes on commit/apply, so this saves one model inference per
+        # query (and the "before" pass of every what-if).
+        self._baseline: Optional[np.ndarray] = None
+
+        map_bins = predictor.model_config.map_bins
+        with get_tracer().span("serve.session.open", design=self.name):
+            self.sample = sample if sample is not None else build_sample(
+                flow, map_bins=map_bins, seed=seed)
+            require(self.sample.layout_stack.shape[1] == map_bins,
+                    "sample resolution does not match the predictor")
+            self.graph = build_timing_graph(self.netlist)
+            paths = build_endpoint_paths(self.netlist.name, self.graph,
+                                         seed)
+            self.featurizer = IncrementalFeaturizer(
+                self.netlist, self.placement, self.graph,
+                x_cell=self.sample.x_cell, x_net=self.sample.x_net,
+                masks=self.sample.masks, paths=paths,
+                layout_stack=self.sample.layout_stack, map_bins=map_bins)
+            self.sta = IncrementalSTA(self.netlist, self.placement,
+                                      self.clock_period)
+        get_metrics().counter("serve.sessions_opened").inc()
+        logger.info("session %s: %d endpoints, %d cells", self.name,
+                    self.sample.n_endpoints, len(self.netlist.cells))
+
+    @classmethod
+    def open(cls, design: str, predictor: TimingPredictor,
+             flow_config: Optional[FlowConfig] = None,
+             seed: int = 0) -> "DesignSession":
+        """Run the reference flow once and wrap it in a session."""
+        flow = run_flow(design, flow_config or FlowConfig(base_seed=seed))
+        return cls(flow, predictor, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predict(self, endpoints: Optional[Sequence[int]] = None
+                ) -> Dict[int, float]:
+        """Batched endpoint predictions at the current design state.
+
+        *endpoints* filters to a subset of endpoint pin ids; the model
+        always embeds all endpoints in one batch (that is its native
+        shape), so a subset costs the same as the full set.
+        """
+        with self._lock:
+            pred = self._baseline_array()
+            by_pin = {int(p): float(v)
+                      for p, v in zip(self.sample.endpoint_pins, pred)}
+        if endpoints is None:
+            return by_pin
+        missing = [p for p in endpoints if int(p) not in by_pin]
+        require(not missing,
+                f"unknown endpoint pin(s) for {self.name}: {missing}")
+        return {int(p): by_pin[int(p)] for p in endpoints}
+
+    def whatif(self, edits: Sequence[Edit],
+               commit: bool = False) -> Dict[str, Any]:
+        """Apply *edits*, re-featurize incrementally, re-predict.
+
+        With ``commit=False`` (the default) the edits are reverted before
+        returning, so the session state is untouched — a pure question.
+        Returns predictions, the analytic pre-route WNS/TNS after the
+        edits, and the shift against the pre-edit predictions.
+        """
+        edits = [e if isinstance(e, Edit) else Edit.from_dict(e)
+                 for e in edits]
+        require(len(edits) > 0, "whatif needs at least one edit")
+        with self._lock:
+            sp = get_tracer().span("serve.whatif", design=self.name,
+                                   edits=len(edits), commit=commit)
+            with sp:
+                before = self._baseline_array()
+                inverse = self._apply(edits)
+                self._refresh()
+                after = self.predictor.predict_array(self.sample)
+                sta_after = self.sta.result
+                if commit:
+                    self.revision += 1
+                    self._baseline = after
+                else:
+                    self._apply(inverse)
+                    self._refresh()
+            self.whatifs_served += 1
+            get_metrics().counter("serve.whatifs").inc()
+            get_metrics().histogram("serve.whatif_ms").observe(
+                sp.duration * 1e3)
+            shift = after - before
+            return {
+                "design": self.name,
+                "revision": self.revision,
+                "committed": commit,
+                "predictions": {
+                    int(p): float(v)
+                    for p, v in zip(self.sample.endpoint_pins, after)},
+                "pre_route": {"wns": float(sta_after.wns),
+                              "tns": float(sta_after.tns)},
+                "shift": {"max_ps": float(np.abs(shift).max()),
+                          "mean_ps": float(shift.mean()),
+                          "endpoints_changed": int((shift != 0.0).sum())},
+                "latency_ms": sp.duration * 1e3,
+            }
+
+    def apply(self, edits: Sequence[Edit]) -> List[Edit]:
+        """Apply edits permanently; returns the inverse edit list."""
+        edits = [e if isinstance(e, Edit) else Edit.from_dict(e)
+                 for e in edits]
+        with self._lock:
+            inverse = self._apply(edits)
+            self._refresh()
+            self.revision += 1
+            self._baseline = None
+        return inverse
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary for the ``/designs`` endpoint."""
+        return {
+            "design": self.name,
+            "cells": len(self.netlist.cells),
+            "endpoints": int(self.sample.n_endpoints),
+            "clock_period_ps": float(self.clock_period),
+            "revision": self.revision,
+            "whatifs_served": self.whatifs_served,
+        }
+
+    # ------------------------------------------------------------------
+    def _baseline_array(self) -> np.ndarray:
+        """Predictions at the committed state (cached; caller holds lock)."""
+        if self._baseline is None:
+            self._baseline = self.predictor.predict_array(self.sample)
+        return self._baseline
+
+    def _apply(self, edits: Sequence[Edit]) -> List[Edit]:
+        """Mutate netlist/placement/STA, mark dirty; return inverses."""
+        nl = self.netlist
+        inverse: List[Edit] = []
+        for e in edits:
+            require(e.cell in nl.cells,
+                    f"{self.name} has no cell {e.cell}")
+            feat = self.featurizer
+            if e.op == "resize":
+                old_type = nl.cells[e.cell].type_name
+                feat.mark_cell_region(e.cell)            # old footprint
+                self.sta.resize_cell(e.cell, e.type_name)
+                feat.mark_cell_region(e.cell)            # new footprint
+                feat.mark_resize(e.cell)
+                inverse.append(Edit(op="resize", cell=e.cell,
+                                    type_name=old_type))
+            else:
+                old_x, old_y = self.placement.position(e.cell)
+                feat.mark_cell_region(e.cell, moved=True)  # old geometry
+                self.sta.move_cell(e.cell, e.x, e.y)
+                feat.mark_cell_region(e.cell, moved=True)  # new geometry
+                feat.mark_move(e.cell)
+                inverse.append(Edit(op="move", cell=e.cell,
+                                    x=old_x, y=old_y))
+        inverse.reverse()
+        return inverse
+
+    def _refresh(self) -> None:
+        self.featurizer.refresh()
+        self.sta.refresh()

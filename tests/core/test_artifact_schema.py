@@ -1,0 +1,130 @@
+"""Versioned predictor artifacts: round-trip, legacy, rejection."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    ARTIFACT_SCHEMA_VERSION,
+    ModelConfig,
+    TimingPredictor,
+    TrainerConfig,
+)
+from repro.core.predictor import ARTIFACT_FORMAT
+from repro.nn import state_dict
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_sample) -> TimingPredictor:
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=32, variant="gnn"),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit([tiny_sample])
+    return predictor
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip_predictions(self, fitted, tiny_sample,
+                                             tmp_path):
+        path = tmp_path / "model.pkl"
+        fitted.save(path)
+        loaded = TimingPredictor.load(path)
+        assert loaded.predict(tiny_sample) == fitted.predict(tiny_sample)
+        assert loaded.model_config == fitted.model_config
+
+    def test_artifact_is_plain_data(self, fitted):
+        """The payload must not pickle project classes (version-fragile)."""
+        payload = fitted.to_artifact()
+        assert payload["format"] == ARTIFACT_FORMAT
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert isinstance(payload["model_config"], dict)
+        assert isinstance(payload["norm"], dict)
+        assert set(payload["norm"]) == {"mean", "std"}
+
+    def test_unfitted_predictor_refuses_to_save(self, tmp_path):
+        predictor = TimingPredictor(ModelConfig(map_bins=32))
+        with pytest.raises(ValueError, match="fit"):
+            predictor.save(tmp_path / "model.pkl")
+
+
+class TestLegacy:
+    def make_legacy_payload(self, fitted):
+        """The exact pre-versioning on-disk format."""
+        return {
+            "model_config": fitted.model_config,
+            "state": state_dict(fitted.model),
+            "norm": (fitted.trainer.norm.mean, fitted.trainer.norm.std),
+        }
+
+    def test_legacy_pickle_loads_with_deprecation_warning(
+            self, fitted, tiny_sample, tmp_path):
+        path = tmp_path / "legacy.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(self.make_legacy_payload(fitted), fh)
+        with pytest.warns(DeprecationWarning, match="legacy"):
+            loaded = TimingPredictor.load(path)
+        assert loaded.predict(tiny_sample) == fitted.predict(tiny_sample)
+
+    def test_legacy_resave_produces_versioned_artifact(
+            self, fitted, tmp_path):
+        path = tmp_path / "legacy.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(self.make_legacy_payload(fitted), fh)
+        with pytest.warns(DeprecationWarning):
+            loaded = TimingPredictor.load(path)
+        assert (loaded.to_artifact()["schema_version"]
+                == ARTIFACT_SCHEMA_VERSION)
+
+
+class TestRejection:
+    def test_future_schema_version_rejected(self, fitted, tmp_path):
+        payload = fitted.to_artifact()
+        payload["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        path = tmp_path / "future.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(ValueError) as exc_info:
+            TimingPredictor.load(path)
+        # The error must be actionable: name the versions and the file.
+        message = str(exc_info.value)
+        assert str(ARTIFACT_SCHEMA_VERSION + 1) in message
+        assert str(ARTIFACT_SCHEMA_VERSION) in message
+        assert "future.pkl" in message
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump([1, 2, 3], fh)
+        with pytest.raises(ValueError, match="not a .* artifact"):
+            TimingPredictor.load(path)
+
+    def test_payload_missing_model_config_rejected(self, fitted):
+        payload = fitted.to_artifact()
+        del payload["model_config"]
+        with pytest.raises(ValueError):
+            TimingPredictor.from_artifact(payload)
+
+
+class TestDefaultConfigIsolation:
+    """Guards the definition-time-default bug: each instance must get its
+    own freshly constructed config object."""
+
+    def test_predictor_default_configs_are_fresh_per_instance(self):
+        a = TimingPredictor()
+        b = TimingPredictor()
+        assert a.model_config == b.model_config
+        assert a.model_config is not b.model_config
+        assert a.trainer.config is not b.trainer.config
+
+    def test_flow_config_default_is_fresh_per_call(self):
+        import inspect
+
+        from repro.flow import run_flow
+
+        # No signature in the codebase may carry a mutable/dataclass
+        # default constructed at definition time.
+        sig = inspect.signature(run_flow)
+        default = sig.parameters["config"].default
+        assert default is None

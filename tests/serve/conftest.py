@@ -1,0 +1,32 @@
+"""Serve-suite fixtures.
+
+Sessions *mutate* the flow artifacts they own, so unlike the rest of the
+suite these fixtures hand out fresh flows — the session-scoped
+``tiny_flow`` must never be wrapped in a session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.flow import FlowConfig, run_flow
+
+MAP_BINS = 32
+FLOW_CONFIG = FlowConfig(scale=0.25, base_seed=0)
+
+
+@pytest.fixture(scope="package")
+def served_predictor(tiny_sample) -> TimingPredictor:
+    """A small fitted predictor matching the tiny flows' resolution."""
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=MAP_BINS),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit([tiny_sample])
+    return predictor
+
+
+@pytest.fixture
+def fresh_flow():
+    """A flow result a session may own (and mutate) exclusively."""
+    return run_flow("xgate", FLOW_CONFIG)

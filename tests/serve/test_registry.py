@@ -1,0 +1,70 @@
+"""PredictorRegistry: validated artifacts, isolated instances."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import ARTIFACT_SCHEMA_VERSION, TimingPredictor
+from repro.serve import PredictorRegistry
+
+
+@pytest.fixture
+def artifact_path(tmp_path, served_predictor):
+    path = tmp_path / "model.pkl"
+    served_predictor.save(path)
+    return path
+
+
+class TestRegister:
+    def test_register_reports_metadata(self, artifact_path):
+        registry = PredictorRegistry()
+        meta = registry.register("m", artifact_path)
+        assert meta["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert meta["variant"] == "full"
+        assert meta["map_bins"] == 32
+        assert meta["n_parameters"] > 0
+        assert registry.names() == ["m"]
+        assert registry.describe("m") == meta
+        assert registry.describe() == {"m": meta}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            PredictorRegistry().register("m", tmp_path / "nope.pkl")
+
+    def test_invalid_artifact_rejected_at_registration(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"schema_version": 999}, fh)
+        with pytest.raises(ValueError):
+            PredictorRegistry().register("m", path)
+
+    def test_register_in_memory_predictor(self, served_predictor):
+        registry = PredictorRegistry()
+        meta = registry.register_predictor("boot", served_predictor)
+        assert meta["path"] == "<memory>"
+        assert registry.acquire("boot") is not None
+
+
+class TestAcquire:
+    def test_acquire_returns_fresh_instances(self, artifact_path):
+        registry = PredictorRegistry()
+        registry.register("m", artifact_path)
+        a = registry.acquire("m")
+        b = registry.acquire("m")
+        assert a is not b
+        assert a.model is not b.model
+        assert isinstance(a, TimingPredictor)
+
+    def test_acquired_instances_predict_identically(
+            self, artifact_path, tiny_sample):
+        registry = PredictorRegistry()
+        registry.register("m", artifact_path)
+        a = registry.acquire("m").predict(tiny_sample)
+        b = registry.acquire("m").predict(tiny_sample)
+        assert a == b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="no registered predictor"):
+            PredictorRegistry().acquire("ghost")
