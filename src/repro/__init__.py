@@ -29,12 +29,15 @@ _EXPORTS = {
     "build_dataset": "repro.ml",
     "build_sample": "repro.ml",
     "DesignSample": "repro.ml",
+    "PackedBatch": "repro.ml",
+    "EndpointBatchSampler": "repro.ml",
     # Timing
     "run_sta": "repro.timing",
     "IncrementalSTA": "repro.timing",
     # Serving
     "DesignSession": "repro.serve",
     "Edit": "repro.serve",
+    "MicroBatcher": "repro.serve",
     "PredictorRegistry": "repro.serve",
     "TimingServer": "repro.serve",
     "ServerConfig": "repro.serve",
@@ -74,6 +77,8 @@ if TYPE_CHECKING:  # let static analyzers resolve the façade eagerly
     from repro.flow import FlowConfig, FlowResult, run_flow  # noqa: F401
     from repro.ml import (  # noqa: F401
         DesignSample,
+        EndpointBatchSampler,
+        PackedBatch,
         build_dataset,
         build_sample,
     )
@@ -86,6 +91,7 @@ if TYPE_CHECKING:  # let static analyzers resolve the façade eagerly
     from repro.serve import (  # noqa: F401
         DesignSession,
         Edit,
+        MicroBatcher,
         PredictorRegistry,
         ServerConfig,
         TimingServer,

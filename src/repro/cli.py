@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--epochs", type=int, default=60)
     p_tr.add_argument("--augment", type=int, default=0,
                       help="extra placement seeds per training design")
+    p_tr.add_argument("--endpoint-batch", type=int, default=1024,
+                      help="cross-design endpoint mini-batch size "
+                           "(paper Section VI-A uses 1024)")
     p_tr.add_argument("--out", type=Path, default=Path("data/predictor.pkl"))
     p_tr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
 
@@ -88,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max concurrently executing requests")
     p_srv.add_argument("--deadline", type=float, default=30.0,
                        help="per-request deadline in seconds")
+    p_srv.add_argument("--microbatch", type=int, default=8,
+                       help="max designs coalesced into one packed "
+                            "forward pass (1 disables micro-batching)")
+    p_srv.add_argument("--microbatch-wait-ms", type=float, default=2.0,
+                       help="how long a micro-batch waits for company "
+                            "after its first request arrives")
 
     p_prof = sub.add_parser(
         "profile",
@@ -189,12 +198,14 @@ def cmd_train(args) -> int:
                                cache_dir=args.cache, seed=seed)
     predictor = TimingPredictor(
         model_config=ModelConfig(variant=args.variant),
-        trainer_config=TrainerConfig(epochs=args.epochs))
+        trainer_config=TrainerConfig(epochs=args.epochs,
+                                     endpoint_batch=args.endpoint_batch))
     predictor.fit(train)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     predictor.save(args.out)
     print(f"trained {args.variant} on {len(train)} samples "
-          f"({args.epochs} epochs) -> {args.out}")
+          f"({args.epochs} epochs, {args.endpoint_batch}-endpoint "
+          f"batches) -> {args.out}")
     return 0
 
 
@@ -221,6 +232,7 @@ def cmd_serve(args) -> int:
     from repro.ml.dataset import build_sample
     from repro.serve import (
         DesignSession,
+        MicroBatcher,
         PredictorRegistry,
         ServerConfig,
         TimingServer,
@@ -248,15 +260,29 @@ def cmd_serve(args) -> int:
         predictor.fit(list(samples.values()))
         registry.register_predictor("default", predictor)
 
+    batcher = None
+    infer = None
+    if args.microbatch > 1:
+        # One shared predictor behind the batcher: only its worker
+        # thread touches the model, so sessions need no private copies.
+        batcher = MicroBatcher(registry.acquire("default"),
+                               max_batch=args.microbatch,
+                               max_wait_s=args.microbatch_wait_ms * 1e-3)
+        infer = batcher.submit
     sessions = {
-        d: DesignSession(flows[d], registry.acquire("default"),
-                         seed=args.seed, sample=samples[d])
+        d: DesignSession(flows[d],
+                         batcher.predictor if batcher is not None
+                         else registry.acquire("default"),
+                         seed=args.seed, sample=samples[d], infer=infer)
         for d in args.designs}
     server = TimingServer(
         sessions,
         ServerConfig(host=args.host, port=args.port,
-                     max_workers=args.workers, deadline_s=args.deadline),
-        model_info=registry.describe("default"))
+                     max_workers=args.workers, deadline_s=args.deadline,
+                     microbatch=args.microbatch,
+                     microbatch_wait_ms=args.microbatch_wait_ms),
+        model_info=registry.describe("default"),
+        batcher=batcher)
     host, port = server.bind()
     print(f"serving {sorted(sessions)} on http://{host}:{port}",
           flush=True)

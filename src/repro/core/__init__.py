@@ -10,6 +10,7 @@ from repro.core.masking import (
     path_net_edges,
     rasterize_endpoint_masks,
     rasterize_region,
+    stack_endpoint_masks,
 )
 from repro.core.predictor import (
     ARTIFACT_SCHEMA_VERSION,
@@ -29,6 +30,7 @@ __all__ = [
     "path_net_edges",
     "rasterize_endpoint_masks",
     "rasterize_region",
+    "stack_endpoint_masks",
     "ARTIFACT_SCHEMA_VERSION",
     "TimingPredictor",
     "LabelNorm",

@@ -5,18 +5,25 @@ Consumes the stacked (cell density, RUDY, macro) maps of shape
 ``M^L ∈ R^(M/4 × N/4)`` through convolution + pooling stages.  The paper
 uses M = N = 512; the architecture below is resolution-agnostic (two
 2× poolings) so the CPU-scale default of 64 and the paper value both work.
+
+The native execution shape is **batched**: :meth:`LayoutEncoder.
+forward_batch` runs B designs' map stacks through one convolution pass
+(the conv/pool layers are NCHW and batch along N for free).  The legacy
+single-design ``forward``/``backward`` are kept as a batch of one.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from repro.nn import Conv2d, MaxPool2d, Module, ReLU, Sequential
+from repro.nn import Conv2d, MaxPool2d, Module, ReLU, Sequential, is_inference
 from repro.utils import require
 
 
 class LayoutEncoder(Module):
-    """3×M×N layout stack → (M/4 · N/4) global layout map, flattened."""
+    """(B, 3, M, N) layout stacks → (B, M/4 · N/4) global layout maps."""
 
     def __init__(self, rng: np.random.Generator,
                  channels: int = 8) -> None:
@@ -29,18 +36,35 @@ class LayoutEncoder(Module):
             MaxPool2d(2),
             Conv2d(2 * channels, 1, 1, rng=rng),
         )
-        self._shape = None
+        self._shapes: List[tuple] = []
 
+    # ------------------------------------------------------------------
+    def forward_batch(self, stacks: np.ndarray) -> np.ndarray:
+        """(B, 3, M, N) → (B, (M//4) * (N//4)) flattened global maps."""
+        require(stacks.ndim == 4 and stacks.shape[1] == 3,
+                f"expected (B, 3, M, N), got {stacks.shape}")
+        m, n = stacks.shape[2:]
+        require(m % 4 == 0 and n % 4 == 0, "map size must be divisible by 4")
+        out = self.net.forward(stacks)               # (B, 1, M/4, N/4)
+        if not is_inference():
+            self._shapes.append(out.shape)
+        return out.reshape(out.shape[0], -1)
+
+    def backward_batch(self, grad_flat: np.ndarray) -> None:
+        """Backprop a (B, P4) gradient w.r.t. the flattened global maps."""
+        shape = self._shapes.pop()
+        self.net.backward(grad_flat.reshape(shape))
+
+    # ------------------------------------------------------------------
     def forward(self, layout_stack: np.ndarray) -> np.ndarray:
-        """(3, M, N) → flattened global map of length (M//4) * (N//4)."""
+        """(3, M, N) → flattened global map; a batch of one."""
         require(layout_stack.ndim == 3 and layout_stack.shape[0] == 3,
                 f"expected (3, M, N), got {layout_stack.shape}")
-        m, n = layout_stack.shape[1:]
-        require(m % 4 == 0 and n % 4 == 0, "map size must be divisible by 4")
-        out = self.net.forward(layout_stack[None])   # (1, 1, M/4, N/4)
-        self._shape = out.shape
-        return out.ravel()
+        return self.forward_batch(layout_stack[None])[0]
 
     def backward(self, grad_flat: np.ndarray) -> None:
-        """Backprop a gradient w.r.t. the flattened global map."""
-        self.net.backward(grad_flat.reshape(self._shape))
+        """Backprop a gradient w.r.t. one flattened global map."""
+        self.backward_batch(grad_flat[None])
+
+    def _drain_cache(self) -> None:
+        self._shapes.clear()

@@ -12,6 +12,13 @@ Per endpoint *e*:
 
 ``variant`` selects the ablations of Table II: ``"full"``, ``"gnn"``
 (netlist-only, paper's "our GNN-only") and ``"cnn"`` (layout-only).
+
+The native execution shape is a :class:`~repro.ml.batch.PackedBatch` —
+N designs disjoint-unioned into one graph, their layout stacks batched
+through one CNN pass, and every endpoint's mask applied to *its* design's
+global map via the pack's endpoint→sample index.  ``forward(sample)`` /
+``backward(grad)`` remain the one-design API and simply run a pack of
+one, so baselines, tests and existing callers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -23,9 +30,10 @@ import numpy as np
 
 from repro.core.cnn import LayoutEncoder
 from repro.core.gnn import EndpointGNN
+from repro.ml.batch import PackedBatch
 from repro.ml.features import CELL_FEATURE_DIM, NET_FEATURE_DIM
 from repro.ml.sample import DesignSample
-from repro.nn import Linear, Module, ReLU, Sequential, mlp
+from repro.nn import Linear, Module, ReLU, Sequential, inference_mode, mlp
 from repro.utils import require, spawn_rng
 
 VARIANTS = ("full", "gnn", "cnn")
@@ -81,40 +89,76 @@ class RestructureTolerantModel(Module):
         self._cache = None
 
     # ------------------------------------------------------------------
-    def forward(self, sample: DesignSample) -> np.ndarray:
-        """Predict normalized arrival for every endpoint of *sample*."""
-        require(sample.masks.shape[1] == (self.config.map_bins // 4) ** 2
+    def forward_batch(self, batch: PackedBatch,
+                      training: bool = True) -> np.ndarray:
+        """Predict normalized arrival for every endpoint of *batch*.
+
+        One GNN pass over the union graph, one CNN pass over the stacked
+        layout maps; returns the packed ``(E,)`` prediction vector in the
+        batch's endpoint order.  ``training=False`` lets the GNN skip its
+        backward bookkeeping (same output, no backward afterwards).
+        """
+        require(batch.masks.shape[1] == (self.config.map_bins // 4) ** 2
                 or self.cnn is None,
-                "sample mask resolution does not match the model config")
+                "batch mask resolution does not match the model config")
+        if not training:
+            with inference_mode():
+                return self._forward_batch(batch, training=False)
+        return self._forward_batch(batch, training=True)
+
+    def _forward_batch(self, batch: PackedBatch,
+                       training: bool) -> np.ndarray:
         parts = []
-        n_endpoints = sample.n_endpoints
         if self.gnn is not None:
-            h = self.gnn.forward(sample)
-            parts.append(h[sample.endpoint_nodes])
+            h = self.gnn.forward(batch, training=training)
+            parts.append(h[batch.endpoint_nodes])
         masks = None
         if self.cnn is not None:
-            global_map = self.cnn.forward(sample.layout_stack)
-            masks = sample.masks.astype(float)
-            masked = masks * global_map[None, :]        # (E, P4), Eq. (6)
+            global_maps = self.cnn.forward_batch(batch.layout_stacks)
+            masks = batch.masks.astype(float)
+            # (E, P4): each endpoint masks ITS design's map, Eq. (6).
+            masked = masks * global_maps[batch.endpoint_sample]
             parts.append(self.layout_fc.forward(masked))
         z = np.concatenate(parts, axis=1)
         pred = self.regressor.forward(z).ravel()
-        self._cache = (sample, masks)
+        if training:
+            self._cache = (batch, masks)
         return pred
 
-    def backward(self, grad_pred: np.ndarray) -> None:
-        """Backprop d(loss)/d(pred) of shape (E,)."""
-        sample, masks = self._cache
+    def backward_batch(self, grad_pred: np.ndarray) -> None:
+        """Backprop d(loss)/d(pred) of shape (E,) through the pack."""
+        batch, masks = self._cache
         gz = self.regressor.backward(grad_pred[:, None])
         offset = 0
         if self.gnn is not None:
             gn = gz[:, offset:offset + self.config.hidden]
             offset += self.config.hidden
-            grad_h = np.zeros((sample.n_nodes, self.config.hidden))
-            grad_h[sample.endpoint_nodes] = gn
+            grad_h = np.zeros((batch.n_nodes, self.config.hidden))
+            grad_h[batch.endpoint_nodes] = gn
             self.gnn.backward(grad_h)
         if self.cnn is not None:
             gl = gz[:, offset:]
-            gm = self.layout_fc.backward(gl)            # (E, P4)
-            self.cnn.backward((gm * masks).sum(axis=0))
+            gm = self.layout_fc.backward(gl) * masks    # (E, P4)
+            # Per-design map gradients: endpoints are grouped contiguously
+            # by sample, so the segment sum reduces straight to (B, P4).
+            if np.all(batch.endpoints_per_sample > 0):
+                gmaps = np.add.reduceat(gm, batch.endpoint_offsets[:-1],
+                                        axis=0)
+            else:  # reduceat mishandles empty segments
+                gmaps = np.zeros((batch.n_samples, gm.shape[1]))
+                np.add.at(gmaps, batch.endpoint_sample, gm)
+            self.cnn.backward_batch(gmaps)
         self._cache = None
+
+    # ------------------------------------------------------------------
+    def forward(self, sample: DesignSample) -> np.ndarray:
+        """Predict normalized arrival for every endpoint of *sample*.
+
+        The one-design API: runs :meth:`forward_batch` on a pack of one
+        (array reuse makes the wrapping free).
+        """
+        return self.forward_batch(PackedBatch.pack([sample]))
+
+    def backward(self, grad_pred: np.ndarray) -> None:
+        """Backprop d(loss)/d(pred) of shape (E,)."""
+        self.backward_batch(grad_pred)

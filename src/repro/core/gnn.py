@@ -12,17 +12,42 @@ followed by a ReLU.  Because each MLP is applied once per level, the layer
 cache stacks (see :mod:`repro.nn.module`) unwind naturally when
 ``backward`` sweeps the levels in reverse, routing max-gradients through
 the cached argmax winners.
+
+The forward/backward passes are **batch-shaped**: they consume anything
+presenting the node-level sample interface — a single
+:class:`~repro.ml.sample.DesignSample` or a
+:class:`~repro.ml.batch.PackedBatch` (the disjoint union of several
+designs).  Level-wise message passing over a pack is the same loop with
+wider levels: the merged :class:`~repro.ml.sample.LevelPlan`\\ s carry the
+offset node ids, and the ``-1`` predecessor padding keeps pointing at the
+single shared sentinel row.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro.ml.sample import DesignSample
 from repro.nn import Module, Parameter, mlp
 from repro.utils import require
+
+if TYPE_CHECKING:  # import cycle guard: repro.ml.batch imports repro.core
+    from repro.ml.batch import PackedBatch
+
+#: Anything with the node-level sample interface the GNN consumes.
+SampleLike = Union[DesignSample, "PackedBatch"]
+
+_NO_NODES = np.zeros(0, dtype=np.int64)
+
+
+def _plan_orders(plans) -> tuple:
+    """(cell node ids, net node ids), each concatenated in level order."""
+    cells = [p.cell_nodes for p in plans if len(p.cell_nodes)]
+    nets = [p.net_nodes for p in plans if len(p.net_nodes)]
+    return (np.concatenate(cells) if cells else _NO_NODES,
+            np.concatenate(nets) if nets else _NO_NODES)
 
 
 class EndpointGNN(Module):
@@ -63,11 +88,27 @@ class EndpointGNN(Module):
                     last.bias.data[...] = 0.0
         self.source_emb = Parameter(rng.normal(0.0, 0.1, hidden))
         self._cache: List[dict] = []
-        self._sample: Optional[DesignSample] = None
+        self._sample: Optional[SampleLike] = None
+
+    def _drain_cache(self) -> None:
+        self._cache.clear()
+        self._sample = None
 
     # ------------------------------------------------------------------
-    def forward(self, sample: DesignSample) -> np.ndarray:
-        """Propagate through all levels; returns the (n, hidden) embeddings."""
+    def forward(self, sample: SampleLike,
+                training: bool = True) -> np.ndarray:
+        """Propagate through all levels; returns the (n, hidden) embeddings.
+
+        *sample* may be a single design or a :class:`PackedBatch`; a pack
+        runs the identical per-level arithmetic on the union graph, so
+        the result rows equal the per-design rows up to fp round-off.
+
+        ``training=False`` skips everything that exists only for
+        :meth:`backward` — argmax winner routing, ReLU masks, the cache
+        push — with bit-identical output (``max`` equals the argmax
+        gather; ``maximum(pre, 0)`` equals ``pre * (pre > 0)`` for the
+        finite values that reach it).
+        """
         h = self.hidden
         n = sample.n_nodes
         # Sentinel row at index -1 carries -inf so padded predecessor slots
@@ -79,31 +120,54 @@ class EndpointGNN(Module):
         level0 = np.where(sample.level == 0)[0]
         big[level0] = self.source_emb.data
 
+        # The feature branches f_c2/f_n see only node features, never the
+        # propagated state, so they run **once** over every level's rows
+        # in level order — one batched MLP call each instead of one small
+        # call per level.  Same per-row arithmetic; the level loop then
+        # just slices the precomputed rows.
+        cell_order, net_order = _plan_orders(sample.plans)
+        feat_c = self.f_c2.forward(sample.x_cell[cell_order])
+        feat_n = self.f_n.forward(sample.x_net[net_order])
+
         caches: List[dict] = []
+        c_off = n_off = 0
         for plan in sample.plans:
             entry: dict = {}
-            if len(plan.cell_nodes):
+            mc = len(plan.cell_nodes)
+            if mc:
                 gathered = big[plan.cell_preds]          # (m, K, h)
-                maxv = gathered.max(axis=1)
-                arg = gathered.argmax(axis=1)            # (m, h)
-                pre = (self.f_c1.forward(maxv)
-                       + self.f_c2.forward(sample.x_cell[plan.cell_nodes]))
+                if training:
+                    arg = gathered.argmax(axis=1)        # (m, h)
+                    maxv = np.take_along_axis(gathered, arg[:, None, :],
+                                              axis=1)[:, 0]
+                else:
+                    maxv = gathered.max(axis=1)
+                pre = self.f_c1.forward(maxv) + feat_c[c_off:c_off + mc]
                 if self.residual:
                     pre = pre + maxv
-                mask = pre > 0
-                big[plan.cell_nodes] = pre * mask
-                entry["cell_mask"] = mask
-                entry["cell_winner"] = np.take_along_axis(
-                    plan.cell_preds, arg, axis=1)        # (m, h) node ids
-            if len(plan.net_nodes):
-                pre = (big[plan.net_drivers]
-                       + self.f_n.forward(sample.x_net[plan.net_nodes]))
-                mask = pre > 0
-                big[plan.net_nodes] = pre * mask
-                entry["net_mask"] = mask
+                if training:
+                    mask = pre > 0
+                    big[plan.cell_nodes] = pre * mask
+                    entry["cell_mask"] = mask
+                    entry["cell_winner"] = np.take_along_axis(
+                        plan.cell_preds, arg, axis=1)    # (m, h) node ids
+                else:
+                    big[plan.cell_nodes] = np.maximum(pre, 0.0, out=pre)
+                c_off += mc
+            mn = len(plan.net_nodes)
+            if mn:
+                pre = big[plan.net_drivers] + feat_n[n_off:n_off + mn]
+                if training:
+                    mask = pre > 0
+                    big[plan.net_nodes] = pre * mask
+                    entry["net_mask"] = mask
+                else:
+                    big[plan.net_nodes] = np.maximum(pre, 0.0, out=pre)
+                n_off += mn
             caches.append(entry)
-        self._cache.append(caches)
-        self._sample = sample
+        if training:
+            self._cache.append(caches)
+            self._sample = sample
         return big[:n]
 
     # ------------------------------------------------------------------
@@ -117,22 +181,37 @@ class EndpointGNN(Module):
         caches = self._cache.pop()
         dh = np.zeros((sample.n_nodes, self.hidden))
         dh += grad_h
+        # Mirror of the forward's hoisting: collect the per-level f_c2/f_n
+        # input gradients into level-ordered buffers and run each branch
+        # backward once.  dh[nodes of level L] is final by the time the
+        # reverse sweep reaches level L, so the collected rows equal the
+        # per-level calls'.
+        cell_order, net_order = _plan_orders(sample.plans)
+        gc_all = np.zeros((len(cell_order), self.hidden))
+        gn_all = np.zeros((len(net_order), self.hidden))
+        c_off, n_off = len(cell_order), len(net_order)
         for plan, entry in zip(reversed(sample.plans), reversed(caches)):
             # Net nodes were written after cell nodes in forward, so their
-            # MLP cache must unwind first.
-            if len(plan.net_nodes):
+            # gradient must resolve first.
+            mn = len(plan.net_nodes)
+            if mn:
                 g = dh[plan.net_nodes] * entry["net_mask"]
-                self.f_n.backward(g)
+                n_off -= mn
+                gn_all[n_off:n_off + mn] = g
                 np.add.at(dh, plan.net_drivers, g)
-            if len(plan.cell_nodes):
+            mc = len(plan.cell_nodes)
+            if mc:
                 g = dh[plan.cell_nodes] * entry["cell_mask"]
-                self.f_c2.backward(g)
+                c_off -= mc
+                gc_all[c_off:c_off + mc] = g
                 ga = self.f_c1.backward(g)               # grad w.r.t. maxv
                 if self.residual:
                     ga = ga + g                          # identity path
                 winner = entry["cell_winner"]            # (m, h) node ids
                 dims = np.broadcast_to(np.arange(self.hidden), winner.shape)
                 np.add.at(dh, (winner.ravel(), dims.ravel()), ga.ravel())
+        self.f_c2.backward(gc_all)
+        self.f_n.backward(gn_all)
         level0 = np.where(sample.level == 0)[0]
         self.source_emb.grad += dh[level0].sum(axis=0)
         self._sample = None

@@ -104,6 +104,26 @@ def rasterize_endpoint_masks(netlist: Netlist, placement: Placement,
     return masks
 
 
+def stack_endpoint_masks(samples) -> np.ndarray:
+    """Stack per-design endpoint masks along one batched endpoint axis.
+
+    The masked-layout product (Eq. (6)) is per-endpoint, so masks of
+    several designs batch by simple concatenation — provided every design
+    was rasterized at the same resolution (one CNN output map serves the
+    whole batch).  Returns a ``(sum_E, P4)`` boolean array.
+    """
+    require(len(samples) > 0, "need at least one sample to stack")
+    p4 = samples[0].masks.shape[1]
+    for s in samples[1:]:
+        require(s.masks.shape[1] == p4,
+                f"cannot stack masks of widths {p4} and "
+                f"{s.masks.shape[1]} ({s.name}): designs were rasterized "
+                "at different map resolutions")
+    if len(samples) == 1:
+        return samples[0].masks
+    return np.concatenate([s.masks for s in samples], axis=0)
+
+
 def build_endpoint_masks(netlist: Netlist, placement: Placement,
                          graph: TimingGraph, map_bins: int,
                          seed: int = 0) -> np.ndarray:

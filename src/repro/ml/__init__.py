@@ -1,5 +1,10 @@
-"""Shared ML data layer: features, samples, dataset builder."""
+"""Shared ML data layer: features, samples, batching, dataset builder."""
 
+from repro.ml.batch import (
+    DEFAULT_ENDPOINT_BATCH,
+    EndpointBatchSampler,
+    PackedBatch,
+)
 from repro.ml.dataset import (
     build_dataset,
     build_dataset_report,
@@ -24,6 +29,9 @@ from repro.ml.parallel import (
 from repro.ml.sample import DesignSample, LevelPlan
 
 __all__ = [
+    "DEFAULT_ENDPOINT_BATCH",
+    "EndpointBatchSampler",
+    "PackedBatch",
     "build_dataset",
     "build_dataset_report",
     "build_level_plans",

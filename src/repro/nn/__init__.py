@@ -10,6 +10,8 @@ from repro.nn.module import (
     Module,
     Parameter,
     Sequential,
+    inference_mode,
+    is_inference,
     load_state_dict,
     state_dict,
 )
@@ -24,6 +26,8 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "inference_mode",
+    "is_inference",
     "load_state_dict",
     "state_dict",
     "Flatten",

@@ -7,7 +7,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.nn.init import kaiming_uniform
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, is_inference
 from repro.utils import require
 
 
@@ -63,9 +63,12 @@ class Conv2d(Module):
         cols, meta = _im2col(x, k, k, self.padding)
         n, _, _, _, h_out, w_out = meta
         w_flat = self.weight.data.reshape(self.weight.shape[0], -1)
-        out = np.einsum("of,nfp->nop", w_flat, cols)
+        # matmul broadcasts over the batch and hits BLAS; einsum here
+        # would fall back to the slow non-BLAS contraction loop.
+        out = np.matmul(w_flat, cols)                    # (n, o, p)
         out += self.bias.data[None, :, None]
-        self._cache.append((cols, meta))
+        if not is_inference():
+            self._cache.append((cols, meta))
         return out.reshape(n, self.weight.shape[0], h_out, w_out)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -74,10 +77,10 @@ class Conv2d(Module):
         k = self.kernel_size
         g = grad_output.reshape(n, self.weight.shape[0], h_out * w_out)
         w_flat = self.weight.data.reshape(self.weight.shape[0], -1)
-        self.weight.grad += np.einsum("nop,nfp->of", g, cols).reshape(
-            self.weight.shape)
+        self.weight.grad += np.tensordot(
+            g, cols, axes=([0, 2], [0, 2])).reshape(self.weight.shape)
         self.bias.grad += g.sum(axis=(0, 2))
-        cols_grad = np.einsum("of,nop->nfp", w_flat, g)
+        cols_grad = np.matmul(w_flat.T, g)               # (n, f, p)
         return _col2im(cols_grad, meta, k, k, self.padding)
 
 
@@ -93,6 +96,16 @@ class MaxPool2d(Module):
         n, c, h, w = x.shape
         require(h % k == 0 and w % k == 0,
                 f"MaxPool2d({k}) needs H, W divisible by {k}, got {x.shape}")
+        if is_inference():
+            if k == 2:
+                # Three elementwise maxima over strided views beat a
+                # ufunc reduce whose reduction axis has length 2 (the
+                # reduce pays its per-output overhead on 2 elements).
+                return np.maximum(
+                    np.maximum(x[:, :, ::2, ::2], x[:, :, ::2, 1::2]),
+                    np.maximum(x[:, :, 1::2, ::2], x[:, :, 1::2, 1::2]))
+            blocks = x.reshape(n, c, h // k, k, w // k, k)
+            return blocks.max(axis=5).max(axis=3)
         blocks = x.reshape(n, c, h // k, k, w // k, k)
         flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(
             n, c, h // k, w // k, k * k)

@@ -7,7 +7,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.nn.init import kaiming_uniform
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, is_inference
 from repro.utils import require
 
 
@@ -25,7 +25,8 @@ class Linear(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         require(x.ndim == 2 and x.shape[1] == self.weight.shape[1],
                 f"Linear expects (N, {self.weight.shape[1]}), got {x.shape}")
-        self._cache.append(x)
+        if not is_inference():
+            self._cache.append(x)
         out = x @ self.weight.data.T
         if self.bias is not None:
             out += self.bias.data
@@ -46,6 +47,8 @@ class ReLU(Module):
         self._cache: List[np.ndarray] = []
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if is_inference():
+            return np.maximum(x, 0.0)
         mask = x > 0
         self._cache.append(mask)
         return x * mask
@@ -63,7 +66,8 @@ class Tanh(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = np.tanh(x)
-        self._cache.append(out)
+        if not is_inference():
+            self._cache.append(out)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -78,7 +82,8 @@ class Flatten(Module):
         self._cache: List[tuple] = []
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._cache.append(x.shape)
+        if not is_inference():
+            self._cache.append(x.shape)
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -11,11 +11,38 @@ the levels in reverse order.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Iterator, List
 
 import numpy as np
 
 from repro.utils import require
+
+_INFERENCE = threading.local()
+
+
+def is_inference() -> bool:
+    """True inside an :func:`inference_mode` block (this thread only)."""
+    return getattr(_INFERENCE, "on", False)
+
+
+@contextmanager
+def inference_mode():
+    """Skip backward bookkeeping for forwards run inside the block.
+
+    Layers that cache inputs/masks/argmaxes solely for ``backward`` check
+    :func:`is_inference` and skip that work — outputs are unchanged, but
+    ``backward`` afterwards is invalid (there is nothing to unwind).  The
+    flag is thread-local, so a serving worker running inference does not
+    disturb a concurrent training thread.
+    """
+    prev = getattr(_INFERENCE, "on", False)
+    _INFERENCE.on = True
+    try:
+        yield
+    finally:
+        _INFERENCE.on = prev
 
 
 class Parameter:
@@ -55,6 +82,25 @@ class Module:
         for value in self.__dict__.values():
             for child in _collect_modules(value):
                 yield from child.modules()
+
+    def drain_caches(self) -> None:
+        """Clear per-forward cache state on this module and its children.
+
+        Call after an inference-only ``forward`` (no ``backward`` will
+        unwind the stacks) so the next pass starts from clean caches and
+        captured inputs can be garbage-collected.  This is the public
+        replacement for reaching into a module's ``_cache`` directly.
+        """
+        for module in self.modules():
+            module._drain_cache()
+
+    def _drain_cache(self) -> None:
+        """Per-module hook for :meth:`drain_caches` (override to extend)."""
+        cache = self.__dict__.get("_cache")
+        if isinstance(cache, list):
+            cache.clear()
+        elif cache is not None:
+            self._cache = None
 
     def forward(self, *args, **kwargs):
         raise NotImplementedError

@@ -9,8 +9,11 @@ Layering (see DESIGN.md):
   served read-only; hands a fresh predictor instance to each session.
 * :class:`TimingServer` — stdlib JSON-over-HTTP front end with bounded
   concurrency, per-request deadlines and structured errors.
+* :class:`MicroBatcher` — coalesces concurrent per-design inferences
+  into one packed forward pass over the batch execution engine.
 """
 
+from repro.serve.batcher import MicroBatcher
 from repro.serve.featurize import IncrementalFeaturizer
 from repro.serve.registry import PredictorRegistry
 from repro.serve.server import (
@@ -28,6 +31,7 @@ __all__ = [
     "EDIT_OPS",
     "Edit",
     "IncrementalFeaturizer",
+    "MicroBatcher",
     "PredictorRegistry",
     "ServerConfig",
     "TimingServer",

@@ -35,11 +35,14 @@ import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.obs import get_metrics, get_tracer
 from repro.serve.session import DesignSession
 from repro.utils import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.batcher import MicroBatcher
 
 logger = get_logger("serve.server")
 
@@ -55,6 +58,8 @@ class ServerConfig:
     port: int = 8787
     max_workers: int = 4     # concurrently *executing* requests
     deadline_s: float = 30.0  # per-request budget (queue wait included)
+    microbatch: int = 8       # max designs coalesced per packed forward
+    microbatch_wait_ms: float = 2.0  # batch-formation window
 
 
 class ApiError(Exception):
@@ -90,10 +95,12 @@ class TimingServer:
 
     def __init__(self, sessions: Dict[str, DesignSession],
                  config: Optional[ServerConfig] = None,
-                 model_info: Optional[Dict[str, Any]] = None) -> None:
+                 model_info: Optional[Dict[str, Any]] = None,
+                 batcher: Optional["MicroBatcher"] = None) -> None:
         self.sessions = dict(sessions)
         self.config = config or ServerConfig()
         self.model_info = model_info or {}
+        self.batcher = batcher
         self.started_at = time.time()
         self._slots = threading.Semaphore(self.config.max_workers)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -141,6 +148,8 @@ class TimingServer:
             self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if self.batcher is not None:
+            self.batcher.stop()
 
     @property
     def address(self) -> tuple:
@@ -193,13 +202,16 @@ class TimingServer:
         return self.sessions[design]
 
     def _health(self) -> Dict[str, Any]:
-        return {
+        health = {
             "status": "ok",
             "api_version": API_VERSION,
             "designs": sorted(self.sessions),
             "model": self.model_info,
             "uptime_s": time.time() - self.started_at,
         }
+        if self.batcher is not None:
+            health["microbatch"] = self.batcher.describe()
+        return health
 
     def _predict(self, body: Dict[str, Any],
                  deadline: _Deadline) -> Dict[str, Any]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -82,16 +82,26 @@ class DesignSession:
     predictor:
         A fitted :class:`TimingPredictor`.  Sessions only call its
         ``predict``; one predictor instance must not be shared across
-        sessions that run concurrently (its forward pass caches state).
+        sessions that run concurrently (its forward pass caches state) —
+        unless every session routes inference through a shared
+        *infer* callable that serializes model access (see below).
+    infer:
+        Optional replacement for ``predictor.predict_array``: a callable
+        ``sample -> (E,) arrival array (ps)``.  The micro-batching server
+        passes :meth:`repro.serve.MicroBatcher.submit` here so concurrent
+        sessions' inferences coalesce into one packed forward pass.
     """
 
     def __init__(self, flow: FlowResult, predictor: TimingPredictor,
                  seed: int = 0,
-                 sample: Optional[DesignSample] = None) -> None:
+                 sample: Optional[DesignSample] = None,
+                 infer: Optional[Callable[[DesignSample], np.ndarray]]
+                 = None) -> None:
         require(predictor.trainer.norm is not None,
                 "predictor must be fitted (or loaded) before serving")
         self.name = flow.name
         self.predictor = predictor
+        self._infer = infer if infer is not None else predictor.predict_array
         self.seed = seed
         self.netlist = flow.input_netlist
         self.placement = flow.input_placement
@@ -173,7 +183,7 @@ class DesignSession:
                 before = self._baseline_array()
                 inverse = self._apply(edits)
                 self._refresh()
-                after = self.predictor.predict_array(self.sample)
+                after = self._infer(self.sample)
                 sta_after = self.sta.result
                 if commit:
                     self.revision += 1
@@ -227,7 +237,7 @@ class DesignSession:
     def _baseline_array(self) -> np.ndarray:
         """Predictions at the committed state (cached; caller holds lock)."""
         if self._baseline is None:
-            self._baseline = self.predictor.predict_array(self.sample)
+            self._baseline = self._infer(self.sample)
         return self._baseline
 
     def _apply(self, edits: Sequence[Edit]) -> List[Edit]:

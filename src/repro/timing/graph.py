@@ -10,8 +10,8 @@ GNN message-passing schedule and longest-path masking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -46,8 +46,10 @@ class TimingGraph:
     pred_ptr: np.ndarray                # (n+1,)
     pred_idx: np.ndarray                # (sum,) predecessor nodes
     pred_is_cell: np.ndarray            # (sum,) True where the edge is a cell edge
-    endpoints: np.ndarray = field(default=None)   # endpoint nodes
-    startpoints: np.ndarray = field(default=None)  # source nodes
+    # Populated and validated by :func:`build_timing_graph`; ``None`` only
+    # on hand-rolled partial graphs (the annotation is honest about it).
+    endpoints: Optional[np.ndarray] = None    # endpoint nodes
+    startpoints: Optional[np.ndarray] = None  # source nodes
 
     @property
     def n_nodes(self) -> int:
@@ -135,6 +137,14 @@ def build_timing_graph(netlist: Netlist) -> TimingGraph:
                          dtype=np.int64)
     startpoints = np.array(sorted(node_of[p] for p in netlist.startpoint_pins()),
                            dtype=np.int64)
+    require(len(endpoints) == 0 or
+            (endpoints[0] >= 0 and endpoints[-1] < n),
+            "endpoint nodes out of range")
+    require(len(startpoints) == 0 or
+            (startpoints[0] >= 0 and startpoints[-1] < n),
+            "startpoint nodes out of range")
+    require(bool(np.all(level[startpoints] == 0)),
+            "startpoints must sit at topological level 0")
     return TimingGraph(
         netlist=netlist,
         pin_ids=pin_ids,

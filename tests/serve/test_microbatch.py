@@ -1,0 +1,94 @@
+"""Tests for the serving micro-batcher (repro.serve.batcher)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+@pytest.fixture
+def batcher(served_predictor):
+    b = MicroBatcher(served_predictor, max_batch=8, max_wait_s=0.25)
+    yield b
+    b.stop()
+
+
+def test_single_submit_matches_predict_array(batcher, served_predictor,
+                                             tiny_sample):
+    got = batcher.submit(tiny_sample)
+    want = served_predictor.predict_array(tiny_sample)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=0.0)
+    stats = batcher.describe()
+    assert stats["batches_run"] == 1
+    assert stats["requests_served"] == 1
+
+
+def test_concurrent_submits_coalesce_into_one_batch(batcher,
+                                                    served_predictor,
+                                                    tiny_sample):
+    """Three blocked callers → one packed pass, identical results."""
+    results = [None] * 3
+    errors = [None] * 3
+
+    def call(i):
+        try:
+            results[i] = batcher.submit(tiny_sample)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors[i] = exc
+
+    threads = [threading.Thread(target=call, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert errors == [None] * 3
+
+    want = served_predictor.predict_array(tiny_sample)
+    for got in results:
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=0.0)
+
+    stats = batcher.describe()
+    assert stats["requests_served"] == 3
+    # The generous max_wait window must have coalesced the burst.
+    assert stats["batches_run"] == 1
+
+
+def test_error_fans_out_and_worker_survives(batcher, tiny_sample):
+    with pytest.raises(AttributeError):
+        batcher.submit(object())  # not a DesignSample: packing fails
+    # The worker thread must still be alive and serving.
+    out = batcher.submit(tiny_sample)
+    assert np.isfinite(out).all()
+
+
+def test_describe_reports_config(served_predictor):
+    b = MicroBatcher(served_predictor, max_batch=5, max_wait_s=0.004)
+    try:
+        stats = b.describe()
+        assert stats["max_batch"] == 5
+        assert stats["max_wait_ms"] == pytest.approx(4.0)
+        assert stats["batches_run"] == 0
+        assert stats["requests_served"] == 0
+    finally:
+        b.stop()
+
+
+def test_stop_finishes_in_flight_work(served_predictor, tiny_sample):
+    b = MicroBatcher(served_predictor, max_batch=4, max_wait_s=0.05)
+    results = []
+    t = threading.Thread(
+        target=lambda: results.append(b.submit(tiny_sample)))
+    t.start()
+    t.join(timeout=10.0)
+    b.stop()
+    assert len(results) == 1 and np.isfinite(results[0]).all()
+    assert not b._thread.is_alive()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(None, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(None, max_wait_s=-1.0)
