@@ -23,7 +23,7 @@ from repro.core import ModelConfig, TimingPredictor, TrainerConfig
 from repro.flow import FlowConfig, run_flow
 from repro.ml.dataset import build_sample
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_bench, run_once
 
 DESIGNS = ("xgate", "steelcore")
 #: Small designs make the sharpest contrast: each per-design call is
@@ -75,6 +75,8 @@ def test_packed_vs_per_design(benchmark):
 
     loop, packed = run_once(benchmark, scenario)
     speedup = loop / packed
+    emit_bench("batch", {"loop_ms": loop * 1e3, "packed_ms": packed * 1e3,
+                         "speedup": speedup, "fleet": FLEET})
     print(f"\nPacked batch — {FLEET}-design inference: per-design loop "
           f"{loop * 1e3:.1f} ms vs packed {packed * 1e3:.1f} ms "
           f"({speedup:.1f}x)")

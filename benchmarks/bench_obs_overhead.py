@@ -20,6 +20,8 @@ from repro.placement import build_die, legalize, place
 from repro.timing import PreRouteEstimator, build_timing_graph
 from repro.timing.sta import _run_sta_impl, run_sta
 
+from benchmarks.conftest import emit_bench
+
 REPEATS = 7
 CALLS = 20
 
@@ -54,6 +56,10 @@ def test_disabled_recording_overhead_under_5_percent():
     base = _timed(_run_sta_impl, graph, wires, 500.0)
     instrumented = _timed(run_sta, graph, wires, 500.0)
     overhead = instrumented / base - 1.0
+    emit_bench("obs_overhead", {
+        "overhead_pct": overhead * 100,
+        "baseline_ms_per_call": base / CALLS * 1e3,
+        "instrumented_ms_per_call": instrumented / CALLS * 1e3})
     print(f"\nrun_sta disabled-recording overhead: {overhead:+.2%} "
           f"(baseline {base / CALLS * 1e3:.2f} ms/call, "
           f"instrumented {instrumented / CALLS * 1e3:.2f} ms/call)")

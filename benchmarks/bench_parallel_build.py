@@ -27,6 +27,8 @@ import pytest
 from repro.flow import FlowConfig
 from repro.ml import build_dataset_report
 
+from benchmarks.conftest import emit_bench
+
 DESIGNS = ["xgate", "steelcore", "chacha", "arm9"]
 CFG = FlowConfig(scale=0.35)
 BINS = 32
@@ -56,6 +58,9 @@ def test_parallel_build_speedup():
     serial = _cold_build(jobs=None)
     parallel = _cold_build(jobs=JOBS)
     speedup = serial / parallel
+    emit_bench("parallel_build", {"serial_s": serial,
+                                  "parallel_s": parallel,
+                                  "speedup": speedup, "jobs": JOBS})
     print(f"\nparallel build: serial {serial:.2f}s, "
           f"jobs={JOBS} {parallel:.2f}s -> {speedup:.2f}x "
           f"({cpus} CPUs available)")

@@ -15,7 +15,7 @@ from repro.flow import FlowConfig, run_flow
 from repro.ml.dataset import build_sample
 from repro.serve import DesignSession, Edit
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_bench, run_once
 
 DESIGN = "xgate"
 FLOW_CONFIG = FlowConfig(scale=0.25, base_seed=0)
@@ -70,6 +70,9 @@ def test_serve_warm_vs_cold(benchmark):
 
     cold, warm = run_once(benchmark, scenario)
     speedup = cold / warm
+    emit_bench("serve", {"cold_ms": cold * 1e3, "warm_ms": warm * 1e3,
+                         "speedup": speedup, "design": DESIGN,
+                         "n_whatifs": N_WHATIFS})
     print(f"\nServing — cold full-flow query {cold * 1e3:.0f} ms vs "
           f"warm what-if {warm * 1e3:.1f} ms ({speedup:.0f}x)")
     assert speedup >= 10.0, (

@@ -57,3 +57,35 @@ def all_samples(train_samples, test_samples):
 def run_once(benchmark, fn):
     """Run a heavy experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+BENCH_OUT = Path(__file__).resolve().parent.parent / "data" / "bench"
+
+
+def emit_bench(name: str, payload: dict) -> Path:
+    """Write a benchmark's headline numbers to ``BENCH_<name>.json``.
+
+    Every benchmark emits its measurements as a small machine-readable
+    artifact under ``data/bench/`` so CI can upload them and runs can be
+    compared over time without scraping stdout.
+    """
+    import json
+    import platform
+    import time
+
+    BENCH_OUT.mkdir(parents=True, exist_ok=True)
+    out = dict(payload)
+    out.setdefault("bench", name)
+    out.setdefault("unix_time", time.time())
+    out.setdefault("python", platform.python_version())
+    try:
+        import os
+
+        out.setdefault("cpus", len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        pass
+    path = BENCH_OUT / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

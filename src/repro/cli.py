@@ -87,8 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8787,
                        help="listen port (0 picks a free one)")
-    p_srv.add_argument("--workers", type=int, default=4,
-                       help="max concurrently executing requests")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="worker *processes* for the sharded fleet; "
+                            "0 (default) serves in-process")
+    p_srv.add_argument("--threads", type=int, default=4,
+                       help="max concurrently executing requests "
+                            "(per worker process when --workers > 0)")
+    p_srv.add_argument("--queue-depth", type=int, default=32,
+                       help="fleet only: max in-flight requests per "
+                            "worker before load-shedding with 503")
     p_srv.add_argument("--deadline", type=float, default=30.0,
                        help="per-request deadline in seconds")
     p_srv.add_argument("--microbatch", type=int, default=8,
@@ -226,15 +233,26 @@ def cmd_predict(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Load (or bootstrap) a predictor, open sessions, serve HTTP."""
+    """Load (or bootstrap) a predictor, open sessions, serve HTTP.
+
+    ``--workers 0`` (default) serves in-process, exactly as before;
+    ``--workers N`` starts the sharded fleet: N worker processes mapping
+    one shared-memory model artifact behind an async gateway, with
+    graceful drain on SIGTERM.
+    """
+    import signal
+
     from repro.core import ModelConfig, TimingPredictor, TrainerConfig
     from repro.flow import FlowConfig, run_flow
     from repro.ml.dataset import build_sample
     from repro.serve import (
         DesignSession,
+        FleetConfig,
         MicroBatcher,
         PredictorRegistry,
         ServerConfig,
+        TimingFleet,
+        TimingGateway,
         TimingServer,
     )
 
@@ -245,8 +263,6 @@ def cmd_serve(args) -> int:
     if args.model.exists():
         registry.register("default", args.model)
         map_bins = registry.describe("default")["map_bins"]
-        samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
-                   for d, f in flows.items()}
     else:
         print(f"model {args.model} not found; bootstrapping a "
               f"{args.bootstrap_epochs}-epoch predictor on "
@@ -255,11 +271,33 @@ def cmd_serve(args) -> int:
             model_config=ModelConfig(),
             trainer_config=TrainerConfig(epochs=args.bootstrap_epochs))
         map_bins = predictor.model_config.map_bins
-        samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
-                   for d, f in flows.items()}
-        predictor.fit(list(samples.values()))
+        boot_samples = [build_sample(f, map_bins=map_bins,
+                                     seed=args.seed)
+                        for f in flows.values()]
+        predictor.fit(boot_samples)
         registry.register_predictor("default", predictor)
 
+    if args.workers > 0:
+        fleet = TimingFleet(
+            registry.payload("default"), flows,
+            FleetConfig(workers=args.workers, threads=args.threads,
+                        microbatch=args.microbatch,
+                        microbatch_wait_ms=args.microbatch_wait_ms,
+                        deadline_s=args.deadline,
+                        queue_depth=args.queue_depth),
+            seeds={d: args.seed for d in flows}).start()
+        gateway = TimingGateway(fleet, host=args.host, port=args.port,
+                                model_info=registry.describe("default"))
+        host, port = gateway.bind()
+        signal.signal(signal.SIGTERM,
+                      lambda signum, frame: gateway.request_drain())
+        print(f"serving {sorted(flows)} on http://{host}:{port} "
+              f"({args.workers} workers)", flush=True)
+        gateway.serve_forever()
+        return 0
+
+    samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
+               for d, f in flows.items()}
     batcher = None
     infer = None
     if args.microbatch > 1:
@@ -278,7 +316,7 @@ def cmd_serve(args) -> int:
     server = TimingServer(
         sessions,
         ServerConfig(host=args.host, port=args.port,
-                     max_workers=args.workers, deadline_s=args.deadline,
+                     max_workers=args.threads, deadline_s=args.deadline,
                      microbatch=args.microbatch,
                      microbatch_wait_ms=args.microbatch_wait_ms),
         model_info=registry.describe("default"),

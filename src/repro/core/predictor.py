@@ -149,13 +149,19 @@ class TimingPredictor:
 
     @classmethod
     def from_artifact(cls, payload: Any,
-                      source: str = "<memory>") -> "TimingPredictor":
+                      source: str = "<memory>",
+                      share_state: bool = False) -> "TimingPredictor":
         """Reconstruct a predictor from an artifact payload.
 
         Accepts the current schema (v2), or the legacy unversioned format
         (a pickled ``ModelConfig`` + ``(mean, std)`` tuple) with a
         :class:`DeprecationWarning`.  Unknown newer versions are rejected
         with an actionable error instead of mis-loading silently.
+
+        ``share_state=True`` adopts the payload's weight arrays by
+        reference instead of copying (inference-only; used by the
+        serving fleet to back every worker process's model with one
+        read-only shared-memory segment — see :mod:`repro.serve.shm`).
         """
         if not isinstance(payload, dict) or "model_config" not in payload:
             raise ValueError(
@@ -181,7 +187,8 @@ class TimingPredictor:
                 "format). Upgrade repro to load it, or re-train and "
                 "re-save the predictor with this version.")
         predictor = cls(model_config=model_config)
-        load_state_dict(predictor.model, payload["state"])
+        load_state_dict(predictor.model, payload["state"],
+                        copy=not share_state)
         predictor.trainer.norm = LabelNorm(mean=mean, std=std)
         return predictor
 

@@ -164,11 +164,25 @@ def state_dict(module: Module) -> List[np.ndarray]:
     return [p.data.copy() for p in module.parameters()]
 
 
-def load_state_dict(module: Module, state: List[np.ndarray]) -> None:
-    """Restore parameters saved by :func:`state_dict`."""
+def load_state_dict(module: Module, state: List[np.ndarray],
+                    copy: bool = True) -> None:
+    """Restore parameters saved by :func:`state_dict`.
+
+    With ``copy=False`` matching float64 arrays are **adopted by
+    reference** instead of copied — the serving fleet passes read-only
+    shared-memory views here so N worker processes share one set of
+    weights.  Inference never writes parameter data, so read-only
+    backing is safe; training such a module would raise on the first
+    optimizer step (the arrays are not writable), which is the intended
+    guard.
+    """
     params = module.parameters()
     require(len(params) == len(state), "state size mismatch")
     for p, arr in zip(params, state):
         require(p.data.shape == tuple(np.shape(arr)),
                 f"parameter shape mismatch: {p.data.shape} vs {np.shape(arr)}")
-        p.data[...] = arr
+        if not copy and isinstance(arr, np.ndarray) \
+                and arr.dtype == np.float64:
+            p.data = arr
+        else:
+            p.data[...] = arr

@@ -21,7 +21,11 @@ Zero-dependency (stdlib-only) subsystem with three layers:
     stages pre/infer).
 """
 
-from repro.obs.merge import merge_worker_traces, worker_trace_path
+from repro.obs.merge import (
+    fold_metrics_snapshot,
+    merge_worker_traces,
+    worker_trace_path,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,6 +49,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "fold_metrics_snapshot",
     "merge_worker_traces",
     "worker_trace_path",
     "ProfileReport",

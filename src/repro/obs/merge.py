@@ -78,13 +78,19 @@ def merge_worker_traces(trace_dir: str,
             tracer.ingest(event)
             ingested += 1
         if last_snapshot:
-            _fold_metrics(metrics, last_snapshot)
+            fold_metrics_snapshot(metrics, last_snapshot)
     return ingested
 
 
-def _fold_metrics(metrics: MetricsRegistry,
-                  snapshot: Dict[str, Any]) -> None:
-    """Fold one worker's cumulative snapshot into the parent registry."""
+def fold_metrics_snapshot(metrics: MetricsRegistry,
+                          snapshot: Dict[str, Any]) -> None:
+    """Fold one worker's cumulative snapshot into the parent registry.
+
+    Counters are summed, ``trainer.epoch_loss`` gauges are last-write,
+    histogram summaries are folded approximately (count/total/max exact,
+    percentiles not).  Also used by the fleet gateway to merge worker
+    ``/metrics`` snapshots fetched in-band over the worker pipes.
+    """
     for name, value in snapshot.items():
         try:
             if isinstance(value, dict):  # histogram summary

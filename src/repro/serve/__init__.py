@@ -7,14 +7,24 @@ Layering (see DESIGN.md):
   what-if edits without re-running the flow.
 * :class:`PredictorRegistry` — validated, versioned model artifacts,
   served read-only; hands a fresh predictor instance to each session.
+* :class:`RequestDispatcher` — transport-agnostic routing, slot
+  accounting, per-request deadlines and structured errors; shared by the
+  in-process server and every fleet worker (bit-identical paths).
 * :class:`TimingServer` — stdlib JSON-over-HTTP front end with bounded
-  concurrency, per-request deadlines and structured errors.
+  concurrency (the ``--workers 0`` in-process transport).
 * :class:`MicroBatcher` — coalesces concurrent per-design inferences
   into one packed forward pass over the batch execution engine.
+* :class:`TimingFleet` / :class:`TimingGateway` — the multi-process
+  serving fleet: a ``selectors``-based async HTTP gateway sharding
+  requests by design to worker processes that map one shared-memory
+  model artifact (``repro serve --workers N``).
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.dispatch import Deadline, RequestDispatcher
 from repro.serve.featurize import IncrementalFeaturizer
+from repro.serve.fleet import FleetConfig, FleetOverloaded, TimingFleet
+from repro.serve.gateway import TimingGateway
 from repro.serve.registry import PredictorRegistry
 from repro.serve.server import (
     API_VERSION,
@@ -23,16 +33,26 @@ from repro.serve.server import (
     TimingServer,
 )
 from repro.serve.session import EDIT_OPS, DesignSession, Edit
+from repro.serve.shm import SharedArtifact, ShmArtifactMeta, attach_artifact
 
 __all__ = [
     "API_VERSION",
     "ApiError",
+    "Deadline",
     "DesignSession",
     "EDIT_OPS",
     "Edit",
+    "FleetConfig",
+    "FleetOverloaded",
     "IncrementalFeaturizer",
     "MicroBatcher",
     "PredictorRegistry",
+    "RequestDispatcher",
     "ServerConfig",
+    "SharedArtifact",
+    "ShmArtifactMeta",
+    "TimingFleet",
+    "TimingGateway",
     "TimingServer",
+    "attach_artifact",
 ]

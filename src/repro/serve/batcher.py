@@ -43,13 +43,15 @@ _STOP = object()
 class _Pending:
     """One caller's slot: sample in, result (or error) out."""
 
-    __slots__ = ("sample", "event", "result", "error")
+    __slots__ = ("sample", "event", "result", "error", "abandoned")
 
     def __init__(self, sample: DesignSample) -> None:
         self.sample = sample
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.abandoned = False      # caller gave up (deadline) — result
+        #                             is discarded, not delivered
 
 
 class MicroBatcher:
@@ -71,15 +73,28 @@ class MicroBatcher:
         self._thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, sample: DesignSample) -> np.ndarray:
+    def submit(self, sample: DesignSample,
+               timeout: Optional[float] = None) -> np.ndarray:
         """Block until the batcher has predicted *sample*; returns (E,) ps.
 
         Drop-in for ``predictor.predict_array`` — sessions plug this in as
         their ``infer`` callable.
+
+        *timeout* bounds the **total** wait — queueing behind other
+        batches plus the batch-formation window plus the forward pass —
+        so a request's deadline keeps counting inside the batcher.  On
+        expiry the slot is abandoned (the worker still computes the
+        batch; the result is discarded) and :class:`TimeoutError` is
+        raised.
         """
         pending = _Pending(sample)
         self._queue.put(pending)
-        pending.event.wait()
+        if not pending.event.wait(timeout):
+            pending.abandoned = True
+            get_metrics().counter("serve.microbatch.timeouts").inc()
+            raise TimeoutError(
+                f"inference did not complete within the {timeout:.3g}s "
+                "deadline (micro-batch wait included)")
         if pending.error is not None:
             raise pending.error
         return pending.result

@@ -1,0 +1,228 @@
+"""Transport-agnostic request dispatch (the serving "dispatch" layer).
+
+The serving stack is split into three layers (see DESIGN.md):
+
+* **transport** — how bytes arrive: the threaded HTTP front end
+  (:class:`repro.serve.TimingServer`), the async fleet gateway
+  (:mod:`repro.serve.gateway`), or a worker process's pipe
+  (:mod:`repro.serve.worker`);
+* **dispatch** — this module: route → session, slot accounting,
+  per-request deadlines, structured errors;
+* **compute** — the sessions, the micro-batcher and the packed model
+  forward underneath them.
+
+A :class:`RequestDispatcher` owns a set of
+:class:`~repro.serve.session.DesignSession` objects and answers
+``(method, path, body)`` triples with JSON-serializable dicts, raising
+:class:`ApiError` for anything that maps to a non-200 status.  Both the
+in-process server (``--workers 0``) and every fleet worker run requests
+through this same class, which is what keeps the two paths bit-identical.
+
+Deadline accounting: the dispatcher opens a :class:`Deadline` per
+request and threads the *remaining* budget into the session layer, so
+time spent queueing for a slot, waiting on the session lock, **and
+waiting inside the micro-batcher** all count against the request's
+budget (a request used to be able to exceed its deadline inside the
+batcher's batch-formation window).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import get_metrics
+from repro.serve.session import DesignSession
+from repro.utils import get_logger
+
+logger = get_logger("serve.dispatch")
+
+#: Protocol version reported by /health; bump on breaking API changes.
+API_VERSION = "v1"
+
+
+class ApiError(Exception):
+    """An error with a wire representation."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class Deadline:
+    """Tracks one request's time budget."""
+
+    def __init__(self, budget_s: float) -> None:
+        self.start = time.perf_counter()
+        self.budget_s = budget_s
+
+    @property
+    def remaining(self) -> float:
+        return self.budget_s - (time.perf_counter() - self.start)
+
+    def check(self, where: str) -> None:
+        if self.remaining <= 0.0:
+            raise ApiError(504, "deadline_exceeded",
+                           f"request exceeded its {self.budget_s:.3g}s "
+                           f"deadline ({where})")
+
+
+def unknown_design_error(design: Any, served) -> ApiError:
+    """The canonical 404 for a design that is not being served.
+
+    Shared by the dispatcher and the fleet gateway so the two paths
+    return byte-identical error bodies.
+    """
+    return ApiError(404, "unknown_design",
+                    f"design {design!r} is not served "
+                    f"(have: {sorted(served)})")
+
+
+class RequestDispatcher:
+    """Routes parsed requests to sessions; transport-independent."""
+
+    def __init__(self, sessions: Dict[str, DesignSession],
+                 max_concurrent: int = 4,
+                 deadline_s: float = 30.0,
+                 model_info: Optional[Dict[str, Any]] = None,
+                 batcher=None,
+                 fault_injection: bool = False) -> None:
+        import threading
+
+        self.sessions = dict(sessions)
+        self.deadline_s = deadline_s
+        self.model_info = model_info or {}
+        self.batcher = batcher
+        self.fault_injection = fault_injection
+        self.started_at = time.time()
+        self._slots = threading.Semaphore(max_concurrent)
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Answer one request; raises :class:`ApiError` on failure."""
+        route = (method, path)
+        budget = self.deadline_s
+        if isinstance(body, dict) and "deadline_s" in body:
+            budget = min(budget, float(body["deadline_s"]))
+        deadline = Deadline(budget)
+        if not self._slots.acquire(timeout=max(deadline.remaining, 0.0)):
+            get_metrics().counter("serve.rejected.overload").inc()
+            raise ApiError(503, "overloaded",
+                           f"no worker slot within the {budget:.3g}s "
+                           "deadline; retry later")
+        try:
+            deadline.check("after queueing")
+            self._maybe_inject(body)
+            if route == ("GET", "/health"):
+                return self.health()
+            if route == ("GET", "/designs"):
+                return {"designs": {name: s.describe()
+                                    for name, s in self.sessions.items()}}
+            if route == ("GET", "/metrics"):
+                return {"metrics": get_metrics().snapshot()}
+            if route == ("POST", "/predict"):
+                return self._predict(body or {}, deadline)
+            if route == ("POST", "/whatif"):
+                return self._whatif(body or {}, deadline)
+            raise ApiError(404, "no_such_route",
+                           f"no route {method} {path}")
+        finally:
+            self._slots.release()
+
+    def handle_to_wire(self, method: str, path: str,
+                       body: Optional[Dict[str, Any]]
+                       ) -> Tuple[int, Dict[str, Any]]:
+        """:meth:`handle` with errors rendered to ``(status, payload)``.
+
+        The single place where exceptions become wire payloads — shared
+        by the threaded HTTP handler and the fleet workers so a given
+        failure produces the same body over either transport.
+        """
+        try:
+            return 200, self.handle(method, path, body)
+        except ApiError as exc:
+            return exc.status, {"error": {"code": exc.code,
+                                          "message": exc.message}}
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            logger.exception("unhandled error on %s %s", method, path)
+            return 500, {"error": {"code": "internal",
+                                   "message": f"{type(exc).__name__}:"
+                                              f" {exc}"}}
+
+    # ------------------------------------------------------------------
+    def _maybe_inject(self, body: Optional[Dict[str, Any]]) -> None:
+        """Test-only fault hooks (off unless explicitly enabled)."""
+        if not self.fault_injection or not isinstance(body, dict):
+            return
+        inject = body.get("_inject")
+        if not isinstance(inject, dict):
+            return
+        sleep_s = float(inject.get("sleep_s", 0.0))
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+
+    def _session(self, body: Dict[str, Any]) -> DesignSession:
+        design = body.get("design")
+        if design is None and len(self.sessions) == 1:
+            design = next(iter(self.sessions))
+        if design not in self.sessions:
+            raise unknown_design_error(design, self.sessions)
+        return self.sessions[design]
+
+    def health(self) -> Dict[str, Any]:
+        health = {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "designs": sorted(self.sessions),
+            "model": self.model_info,
+            "uptime_s": time.time() - self.started_at,
+        }
+        if self.batcher is not None:
+            health["microbatch"] = self.batcher.describe()
+        return health
+
+    def _predict(self, body: Dict[str, Any],
+                 deadline: Deadline) -> Dict[str, Any]:
+        session = self._session(body)
+        endpoints = body.get("endpoints")
+        if endpoints is not None and not isinstance(endpoints, list):
+            raise ApiError(400, "bad_request",
+                           "'endpoints' must be a list of pin ids")
+        try:
+            predictions = session.predict(endpoints,
+                                          deadline_s=deadline.remaining)
+        except ValueError as exc:
+            raise ApiError(400, "bad_request", str(exc)) from exc
+        except TimeoutError as exc:
+            raise ApiError(504, "deadline_exceeded", str(exc)) from exc
+        deadline.check("after predict")
+        return {
+            "design": session.name,
+            "revision": session.revision,
+            "n_endpoints": len(predictions),
+            "predictions": {str(p): float(v)
+                            for p, v in predictions.items()},
+        }
+
+    def _whatif(self, body: Dict[str, Any],
+                deadline: Deadline) -> Dict[str, Any]:
+        session = self._session(body)
+        edits = body.get("edits")
+        if not isinstance(edits, list) or not edits:
+            raise ApiError(400, "bad_request",
+                           "'edits' must be a non-empty list")
+        try:
+            result = session.whatif(edits,
+                                    commit=bool(body.get("commit", False)),
+                                    deadline_s=deadline.remaining)
+        except ValueError as exc:
+            raise ApiError(400, "bad_request", str(exc)) from exc
+        except TimeoutError as exc:
+            raise ApiError(504, "deadline_exceeded", str(exc)) from exc
+        deadline.check("after whatif")
+        result["predictions"] = {str(p): v
+                                 for p, v in result["predictions"].items()}
+        return result

@@ -1,0 +1,516 @@
+"""Sharded serving fleet: worker processes, routing, crash recovery.
+
+The fleet is the dispatch fabric between the async HTTP gateway
+(:mod:`repro.serve.gateway`) and N worker processes
+(:mod:`repro.serve.worker`):
+
+* **Sharding / affinity.**  Each design's session lives in exactly one
+  worker (round-robin assignment at startup, sticky thereafter), so a
+  design's committed state has a single home and no cross-process
+  session coherence is needed.
+* **Shared weights.**  The predictor artifact is published once into
+  shared memory (:mod:`repro.serve.shm`); every worker maps the same
+  read-only segment.
+* **Backpressure.**  Per-worker in-flight queues are bounded
+  (``queue_depth``); :meth:`TimingFleet.submit` raises
+  :class:`FleetOverloaded` when a shard is full and the gateway turns
+  that into a 503 with ``Retry-After``.
+* **Crash recovery.**  Every worker's process sentinel is watched by the
+  gateway's selector loop; on death the fleet spawns a replacement,
+  re-opens the dead worker's sessions (replaying the committed-edit
+  journal so revisions are restored), transparently resubmits *pure*
+  in-flight requests (reads, predictions, uncommitted what-ifs) and
+  fails committed what-ifs with a retryable 503 — a commit that was
+  in-flight on a dying worker may or may not have been applied there,
+  but the journal only ever contains acknowledged commits, so the
+  replacement's state is unambiguous.
+* **Drain.**  :meth:`TimingFleet.drain_begin` sends each worker a drain
+  marker; pipe ordering guarantees all previously submitted requests
+  are answered before the worker's ``("drained",)`` acknowledgement.
+
+The fleet is single-threaded by design: every method is called from the
+gateway's selector loop (or from a test driving :meth:`pump` directly);
+there is no internal locking to reason about.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.flow import FlowResult
+from repro.serve.dispatch import ApiError, unknown_design_error
+from repro.serve.shm import SharedArtifact
+from repro.serve.worker import worker_main
+from repro.utils import get_logger, require
+
+logger = get_logger("serve.fleet")
+
+#: Routes whose retry is always safe: they do not mutate session state.
+#: ``POST /whatif`` is pure too *unless* the body asks to commit.
+_PURE_POSTS = ("/predict", "/whatif")
+
+
+class FleetOverloaded(ApiError):
+    """A shard's bounded queue is full; the client should retry."""
+
+    def __init__(self, design: str, depth: int) -> None:
+        super().__init__(503, "overloaded",
+                         f"shard serving {design!r} has {depth} requests "
+                         "in flight; retry later")
+        self.retry_after_s = 1
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet sizing and per-worker serving knobs."""
+
+    workers: int = 2
+    threads: int = 4                 # request threads per worker
+    microbatch: int = 8
+    microbatch_wait_ms: float = 2.0
+    deadline_s: float = 30.0
+    queue_depth: int = 32            # max in-flight per worker (bounded)
+    fault_injection: bool = False
+    trace_dir: Optional[str] = None  # per-worker span files land here
+    tracing: bool = False
+    start_timeout_s: float = 120.0   # worker boot + session open budget
+
+
+@dataclass
+class _Proxied:
+    """One client request forwarded to a worker."""
+
+    rid: int
+    design: Optional[str]
+    method: str
+    path: str
+    body: Optional[Dict[str, Any]]
+    on_done: Callable[[int, Dict[str, Any]], None]
+    t_end: Optional[float] = None    # absolute perf_counter deadline
+    committed: bool = False          # POST /whatif with commit=True
+    retried: bool = False
+
+
+@dataclass
+class _Fanout:
+    """One logical request fanned out to every live worker."""
+
+    remaining: int
+    replies: List[Any] = field(default_factory=list)
+    on_done: Callable[[List[Any]], None] = lambda replies: None
+
+    def absorb(self, reply: Any) -> None:
+        self.replies.append(reply)
+        self.remaining -= 1
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining <= 0
+
+
+class WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.designs: Set[str] = set()
+        self.inflight: Set[int] = set()  # rids awaiting a reply
+        self.ready: Set[str] = set()     # designs acked via ("ready", ...)
+        self.drained = False
+        self.restarts = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "pid": self.pid,
+            "alive": self.alive,
+            "designs": sorted(self.designs),
+            "inflight": len(self.inflight),
+            "restarts": self.restarts,
+            "drained": self.drained,
+        }
+
+
+class TimingFleet:
+    """Owns the worker processes and routes requests to design shards."""
+
+    def __init__(self, payload: Dict[str, Any],
+                 flows: Dict[str, FlowResult],
+                 config: Optional[FleetConfig] = None,
+                 seeds: Optional[Dict[str, int]] = None) -> None:
+        self.config = config or FleetConfig()
+        require(self.config.workers >= 1,
+                "a fleet needs at least one worker (use the in-process "
+                "server for --workers 0)")
+        require(len(flows) >= 1, "a fleet needs at least one design")
+        self.flows = dict(flows)
+        self.seeds = dict(seeds or {})
+        self.artifact = SharedArtifact.publish(payload)
+        self.workers: List[WorkerHandle] = []
+        #: design → worker id (sticky shard assignment).
+        self.routing: Dict[str, int] = {}
+        #: design → list of committed edit batches (wire dicts), replayed
+        #: on a replacement worker to restore the session's revision.
+        self.journal: Dict[str, List[List[Dict[str, Any]]]] = {
+            d: [] for d in self.flows}
+        self.pending: Dict[int, Any] = {}   # rid → _Proxied | (_Fanout, kind)
+        self._rid = 0
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        self._started = False
+        self._stopped = False
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TimingFleet":
+        """Spawn workers, shard the designs, block until sessions open."""
+        require(not self._started, "fleet already started")
+        self._started = True
+        n = min(self.config.workers, len(self.flows))
+        for wid in range(n):
+            self.workers.append(self._spawn(wid))
+        for i, design in enumerate(sorted(self.flows)):
+            worker = self.workers[i % n]
+            worker.designs.add(design)
+            self.routing[design] = worker.id
+            self._send_open(worker, design)
+        deadline = time.perf_counter() + self.config.start_timeout_s
+        while any(w.ready != w.designs for w in self.workers):
+            if time.perf_counter() > deadline:
+                self.stop()
+                raise TimeoutError(
+                    "fleet workers did not open their sessions within "
+                    f"{self.config.start_timeout_s:.0f}s")
+            for worker in self.workers:
+                if worker.conn.poll(0.05):
+                    self.pump(worker)
+                if not worker.alive:
+                    self.stop()
+                    raise RuntimeError(
+                        f"fleet worker {worker.id} (pid {worker.pid}) "
+                        "died during startup")
+        logger.info("fleet up: %d workers, %d designs (%s)", n,
+                    len(self.flows),
+                    ", ".join(f"w{w.id}:{sorted(w.designs)}"
+                              for w in self.workers))
+        return self
+
+    def _spawn(self, worker_id: int) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        worker_config = {
+            "threads": self.config.threads,
+            "microbatch": self.config.microbatch,
+            "microbatch_wait_ms": self.config.microbatch_wait_ms,
+            "deadline_s": self.config.deadline_s,
+            "fault_injection": self.config.fault_injection,
+        }
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, worker_id, worker_config,
+                  self.artifact.meta, self.config.trace_dir,
+                  self.config.tracing),
+            name=f"repro-fleet-w{worker_id}",
+            daemon=True)
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        return WorkerHandle(worker_id, process, parent_conn)
+
+    def _send_open(self, worker: WorkerHandle, design: str) -> None:
+        worker.conn.send(("open", design, self.flows[design],
+                          self.seeds.get(design, 0),
+                          [list(batch) for batch in self.journal[design]]))
+
+    def stop(self) -> None:
+        """Kill every worker and release the shared segment (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self.workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.alive:
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.artifact.unlink()
+
+    def drain_begin(self) -> None:
+        """Send every live worker its drain marker (non-blocking).
+
+        All requests submitted before this point will still be answered
+        (pipe ordering); the gateway keeps pumping until
+        :attr:`all_drained`, then calls :meth:`stop`.
+        """
+        self.draining = True
+        for worker in self.workers:
+            if worker.alive and not worker.drained:
+                try:
+                    worker.conn.send(("drain",))
+                except (OSError, BrokenPipeError):
+                    worker.drained = True
+
+    @property
+    def all_drained(self) -> bool:
+        return all(w.drained or not w.alive for w in self.workers)
+
+    # ------------------------------------------------------------------
+    # Routing + submission (called from the gateway loop)
+    # ------------------------------------------------------------------
+    def worker_for(self, design: Optional[str]) -> WorkerHandle:
+        """The shard serving *design*; canonical 404 when unknown.
+
+        Mirrors the in-process dispatcher's convenience: with exactly one
+        design served fleet-wide, a request may omit ``design``.
+        """
+        if design is None and len(self.flows) == 1:
+            design = next(iter(self.flows))
+        if design not in self.routing:
+            raise unknown_design_error(design, self.flows)
+        return self.workers[self.routing[design]]
+
+    def submit(self, design: Optional[str], method: str, path: str,
+               body: Optional[Dict[str, Any]],
+               on_done: Callable[[int, Dict[str, Any]], None],
+               t_end: Optional[float] = None) -> int:
+        """Forward one request to its shard; ``on_done(status, payload)``.
+
+        Raises :class:`ApiError` (404 unknown design, 503 full shard)
+        for failures the gateway should answer immediately.
+        """
+        worker = self.worker_for(design)
+        if len(worker.inflight) >= self.config.queue_depth:
+            raise FleetOverloaded(design or next(iter(self.flows)),
+                                  len(worker.inflight))
+        rid = self._next_rid()
+        committed = (method == "POST" and path == "/whatif"
+                     and bool((body or {}).get("commit", False)))
+        self.pending[rid] = _Proxied(rid=rid, design=design, method=method,
+                                     path=path, body=body, on_done=on_done,
+                                     t_end=t_end, committed=committed)
+        worker.inflight.add(rid)
+        worker.conn.send(("request", rid, method, path, body))
+        return rid
+
+    def fanout(self, kind: str,
+               on_done: Callable[[List[Any]], None]) -> None:
+        """Broadcast a control query (``metrics`` | ``describe`` |
+        ``designs``) to every live worker; *on_done* gets the replies.
+
+        A worker that dies mid-fanout is simply absent from the replies.
+        Completes immediately (empty list) when no worker is alive.
+        """
+        live = [w for w in self.workers if w.alive and not w.drained]
+        op = _Fanout(remaining=len(live), on_done=on_done)
+        for worker in live:
+            rid = self._next_rid()
+            self.pending[rid] = (op, kind)
+            worker.inflight.add(rid)
+            if kind == "designs":
+                worker.conn.send(("request", rid, "GET", "/designs", None))
+            else:
+                worker.conn.send((kind, rid))
+        if op.complete:
+            op.on_done(op.replies)
+
+    def _next_rid(self) -> int:
+        self._rid += 1
+        return self._rid
+
+    # ------------------------------------------------------------------
+    # Event pump (gateway selector callbacks)
+    # ------------------------------------------------------------------
+    def pump(self, worker: WorkerHandle) -> None:
+        """Drain every message currently readable on *worker*'s pipe."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                # Pipe collapsed — the sentinel event handles recovery.
+                return
+            self._dispatch(worker, msg)
+
+    def _dispatch(self, worker: WorkerHandle, msg) -> None:
+        kind = msg[0]
+        if kind == "response":
+            _, rid, status, payload = msg
+            worker.inflight.discard(rid)
+            entry = self.pending.pop(rid, None)
+            if entry is None:
+                return  # late reply for an already-expired request
+            if isinstance(entry, _Proxied):
+                if entry.committed and status == 200:
+                    self._journal_commit(entry)
+                entry.on_done(status, payload)
+            else:  # fanout over GET /designs
+                op, _ = entry
+                op.absorb(payload if status == 200 else None)
+                if op.complete:
+                    op.on_done(op.replies)
+        elif kind in ("metrics_reply", "describe_reply"):
+            _, rid, payload = msg
+            worker.inflight.discard(rid)
+            entry = self.pending.pop(rid, None)
+            if entry is not None:
+                op, _ = entry
+                op.absorb(payload)
+                if op.complete:
+                    op.on_done(op.replies)
+        elif kind == "ready":
+            _, design, _info = msg
+            worker.ready.add(design)
+        elif kind == "drained":
+            worker.drained = True
+
+    def _journal_commit(self, entry: _Proxied) -> None:
+        design = entry.design
+        if design is None and len(self.flows) == 1:
+            design = next(iter(self.flows))
+        edits = list((entry.body or {}).get("edits", []))
+        if design in self.journal and edits:
+            self.journal[design].append(edits)
+
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def expire(self, now: Optional[float] = None) -> None:
+        """Fail every proxied request whose absolute deadline passed."""
+        now = time.perf_counter() if now is None else now
+        expired = [e for e in self.pending.values()
+                   if isinstance(e, _Proxied)
+                   and e.t_end is not None and e.t_end < now]
+        for entry in expired:
+            self.pending.pop(entry.rid, None)
+            for worker in self.workers:
+                worker.inflight.discard(entry.rid)
+            entry.on_done(504, _error_payload(
+                "deadline_exceeded",
+                "request exceeded its deadline waiting on the fleet"))
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending absolute deadline (gateway poll timeout)."""
+        deadlines = [e.t_end for e in self.pending.values()
+                     if isinstance(e, _Proxied) and e.t_end is not None]
+        return min(deadlines) if deadlines else None
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def handle_worker_death(self, worker: WorkerHandle
+                            ) -> Optional[WorkerHandle]:
+        """Replace a dead worker; re-home its designs and requests.
+
+        Returns the replacement handle (the gateway must swap its
+        selector registrations), or ``None`` during shutdown/drain when
+        no replacement is spawned.
+        """
+        self.pump_remains(worker)
+        orphans = [self.pending.pop(rid)
+                   for rid in sorted(worker.inflight)
+                   if rid in self.pending]
+        worker.inflight.clear()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if self._stopped or worker.drained:
+            return None
+        logger.warning(
+            "fleet worker %d (pid %s) died with %d request(s) in flight; "
+            "respawning", worker.id, worker.pid, len(orphans))
+        replacement = self._spawn(worker.id)
+        replacement.designs = set(worker.designs)
+        replacement.restarts = worker.restarts + 1
+        self.workers[worker.id] = replacement
+        for design in sorted(replacement.designs):
+            self._send_open(replacement, design)
+        for entry in orphans:
+            self._rehome(replacement, entry)
+        if self.draining:
+            # The fleet-wide drain already passed this worker by; the
+            # replacement must drain too (after the re-homed requests,
+            # which are ahead of it in the pipe) or the drain never ends.
+            replacement.conn.send(("drain",))
+        return replacement
+
+    def pump_remains(self, worker: WorkerHandle) -> None:
+        """Deliver whatever the dead worker managed to write before dying."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                return
+            self._dispatch(worker, msg)
+
+    def _rehome(self, replacement: WorkerHandle, entry) -> None:
+        if not isinstance(entry, _Proxied):
+            op, _ = entry          # fanout: dead worker is just absent
+            op.remaining -= 1
+            if op.complete:
+                op.on_done(op.replies)
+            return
+        if self._is_pure(entry) and not entry.retried:
+            # Safe to replay: the request cannot have mutated state.
+            # Requests queue behind the ("open", ...) replays already in
+            # the pipe, so the session is rebuilt before they run.
+            entry.retried = True
+            self.pending[entry.rid] = entry
+            replacement.inflight.add(entry.rid)
+            replacement.conn.send(("request", entry.rid, entry.method,
+                                   entry.path, entry.body))
+            return
+        entry.on_done(503, _error_payload(
+            "worker_lost",
+            "the worker serving this request died before answering; "
+            "the session has been restored — retry the request"))
+
+    @staticmethod
+    def _is_pure(entry: _Proxied) -> bool:
+        if entry.method == "GET":
+            return True
+        return (entry.method == "POST" and entry.path in _PURE_POSTS
+                and not entry.committed)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Fleet-level bookkeeping for ``/health``."""
+        return {
+            "workers": len(self.workers),
+            "designs": {d: self.routing[d] for d in sorted(self.routing)},
+            "journal_revisions": {d: len(b)
+                                  for d, b in sorted(self.journal.items())},
+            "pending": len(self.pending),
+            "per_worker": [w.describe() for w in self.workers],
+        }
+
+
+def _error_payload(code: str, message: str) -> Dict[str, Any]:
+    """The same wire shape :meth:`RequestDispatcher.handle_to_wire` uses."""
+    return {"error": {"code": code, "message": message}}

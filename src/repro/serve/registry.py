@@ -102,6 +102,18 @@ class PredictorRegistry:
                 return dict(self._meta[name])
             return {n: dict(m) for n, m in self._meta.items()}
 
+    def payload(self, name: str) -> Any:
+        """The validated raw artifact payload (read-only by convention).
+
+        The fleet publishes this into shared memory once instead of
+        acquiring a predictor per worker process.
+        """
+        with self._lock:
+            require(name in self._payloads,
+                    f"no registered predictor {name!r} "
+                    f"(have: {sorted(self._payloads) or 'none'})")
+            return self._payloads[name]
+
     def acquire(self, name: str) -> TimingPredictor:
         """A fresh predictor instance backed by the cached payload."""
         with self._lock:

@@ -1,4 +1,4 @@
-"""JSON-over-HTTP serving front end (stdlib only).
+"""JSON-over-HTTP serving front end (stdlib only, in-process transport).
 
 A :class:`TimingServer` exposes the sessions over a
 ``ThreadingHTTPServer``:
@@ -13,13 +13,20 @@ A :class:`TimingServer` exposes the sessions over a
                       edit → incremental re-featurize → re-predict
 ====================  ======================================================
 
+This class is the **transport** layer only — request routing, slot
+accounting, deadlines and structured errors live in the shared
+:class:`~repro.serve.dispatch.RequestDispatcher` (the same dispatcher a
+fleet worker runs, which is what keeps ``repro serve --workers 0`` and
+the multi-process fleet bit-identical).
+
 Operational guarantees:
 
 * **Bounded concurrency** — a semaphore of ``max_workers`` slots; excess
   requests queue for their remaining deadline budget, then get a
   structured 503.
 * **Per-request deadline** — ``deadline_s`` (config default, overridable
-  per request body); exceeding it returns a structured 504.
+  per request body); exceeding it returns a structured 504.  Time spent
+  waiting inside the micro-batcher counts against the deadline.
 * **Structured errors** — every failure is
   ``{"error": {"code", "message"}}`` with a matching HTTP status.
 * **Observability** — every request runs inside a ``serve.request``
@@ -32,12 +39,12 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.obs import get_metrics, get_tracer
+from repro.serve.dispatch import API_VERSION, ApiError, RequestDispatcher
 from repro.serve.session import DesignSession
 from repro.utils import get_logger
 
@@ -46,8 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 logger = get_logger("serve.server")
 
-#: Protocol version reported by /health; bump on breaking API changes.
-API_VERSION = "v1"
+__all__ = ["API_VERSION", "ApiError", "ServerConfig", "TimingServer"]
 
 
 @dataclass(frozen=True)
@@ -62,34 +68,6 @@ class ServerConfig:
     microbatch_wait_ms: float = 2.0  # batch-formation window
 
 
-class ApiError(Exception):
-    """An error with a wire representation."""
-
-    def __init__(self, status: int, code: str, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.code = code
-        self.message = message
-
-
-class _Deadline:
-    """Tracks one request's time budget."""
-
-    def __init__(self, budget_s: float) -> None:
-        self.start = time.perf_counter()
-        self.budget_s = budget_s
-
-    @property
-    def remaining(self) -> float:
-        return self.budget_s - (time.perf_counter() - self.start)
-
-    def check(self, where: str) -> None:
-        if self.remaining <= 0.0:
-            raise ApiError(504, "deadline_exceeded",
-                           f"request exceeded its {self.budget_s:.3g}s "
-                           f"deadline ({where})")
-
-
 class TimingServer:
     """Owns the sessions and the HTTP front end."""
 
@@ -97,14 +75,32 @@ class TimingServer:
                  config: Optional[ServerConfig] = None,
                  model_info: Optional[Dict[str, Any]] = None,
                  batcher: Optional["MicroBatcher"] = None) -> None:
-        self.sessions = dict(sessions)
         self.config = config or ServerConfig()
-        self.model_info = model_info or {}
-        self.batcher = batcher
-        self.started_at = time.time()
-        self._slots = threading.Semaphore(self.config.max_workers)
+        self.dispatcher = RequestDispatcher(
+            sessions,
+            max_concurrent=self.config.max_workers,
+            deadline_s=self.config.deadline_s,
+            model_info=model_info,
+            batcher=batcher)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    # Back-compat conveniences: the server used to own these directly.
+    @property
+    def sessions(self) -> Dict[str, DesignSession]:
+        return self.dispatcher.sessions
+
+    @property
+    def model_info(self) -> Dict[str, Any]:
+        return self.dispatcher.model_info
+
+    @property
+    def batcher(self) -> Optional["MicroBatcher"]:
+        return self.dispatcher.batcher
+
+    @property
+    def started_at(self) -> float:
+        return self.dispatcher.started_at
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,96 +155,10 @@ class TimingServer:
         return (self.config.host, self.config.port)
 
     # ------------------------------------------------------------------
-    # Request handling (called from handler threads)
-    # ------------------------------------------------------------------
     def handle(self, method: str, path: str,
                body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-        route = (method, path)
-        budget = self.config.deadline_s
-        if isinstance(body, dict) and "deadline_s" in body:
-            budget = min(budget, float(body["deadline_s"]))
-        deadline = _Deadline(budget)
-        if not self._slots.acquire(timeout=max(deadline.remaining, 0.0)):
-            get_metrics().counter("serve.rejected.overload").inc()
-            raise ApiError(503, "overloaded",
-                           f"no worker slot within the {budget:.3g}s "
-                           "deadline; retry later")
-        try:
-            deadline.check("after queueing")
-            if route == ("GET", "/health"):
-                return self._health()
-            if route == ("GET", "/designs"):
-                return {"designs": {name: s.describe()
-                                    for name, s in self.sessions.items()}}
-            if route == ("GET", "/metrics"):
-                return {"metrics": get_metrics().snapshot()}
-            if route == ("POST", "/predict"):
-                return self._predict(body or {}, deadline)
-            if route == ("POST", "/whatif"):
-                return self._whatif(body or {}, deadline)
-            raise ApiError(404, "no_such_route",
-                           f"no route {method} {path}")
-        finally:
-            self._slots.release()
-
-    def _session(self, body: Dict[str, Any]) -> DesignSession:
-        design = body.get("design")
-        if design is None and len(self.sessions) == 1:
-            design = next(iter(self.sessions))
-        if design not in self.sessions:
-            raise ApiError(404, "unknown_design",
-                           f"design {design!r} is not served "
-                           f"(have: {sorted(self.sessions)})")
-        return self.sessions[design]
-
-    def _health(self) -> Dict[str, Any]:
-        health = {
-            "status": "ok",
-            "api_version": API_VERSION,
-            "designs": sorted(self.sessions),
-            "model": self.model_info,
-            "uptime_s": time.time() - self.started_at,
-        }
-        if self.batcher is not None:
-            health["microbatch"] = self.batcher.describe()
-        return health
-
-    def _predict(self, body: Dict[str, Any],
-                 deadline: _Deadline) -> Dict[str, Any]:
-        session = self._session(body)
-        endpoints = body.get("endpoints")
-        if endpoints is not None and not isinstance(endpoints, list):
-            raise ApiError(400, "bad_request",
-                           "'endpoints' must be a list of pin ids")
-        try:
-            predictions = session.predict(endpoints)
-        except ValueError as exc:
-            raise ApiError(400, "bad_request", str(exc)) from exc
-        deadline.check("after predict")
-        return {
-            "design": session.name,
-            "revision": session.revision,
-            "n_endpoints": len(predictions),
-            "predictions": {str(p): float(v)
-                            for p, v in predictions.items()},
-        }
-
-    def _whatif(self, body: Dict[str, Any],
-                deadline: _Deadline) -> Dict[str, Any]:
-        session = self._session(body)
-        edits = body.get("edits")
-        if not isinstance(edits, list) or not edits:
-            raise ApiError(400, "bad_request",
-                           "'edits' must be a non-empty list")
-        try:
-            result = session.whatif(edits, commit=bool(body.get("commit",
-                                                                False)))
-        except ValueError as exc:
-            raise ApiError(400, "bad_request", str(exc)) from exc
-        deadline.check("after whatif")
-        result["predictions"] = {str(p): v
-                                 for p, v in result["predictions"].items()}
-        return result
+        """Dispatch one request (kept for embedding/tests)."""
+        return self.dispatcher.handle(method, path, body)
 
 
 # ----------------------------------------------------------------------
@@ -297,19 +207,8 @@ class _Handler(BaseHTTPRequestHandler):
         status = 500
         try:
             with sp:
-                try:
-                    payload = app.handle(method, path, body)
-                    status = 200
-                except ApiError as exc:
-                    status = exc.status
-                    payload = {"error": {"code": exc.code,
-                                         "message": exc.message}}
-                except Exception as exc:  # noqa: BLE001 — wire boundary
-                    logger.exception("unhandled error on %s", route_label)
-                    status = 500
-                    payload = {"error": {"code": "internal",
-                                         "message": f"{type(exc).__name__}:"
-                                                    f" {exc}"}}
+                status, payload = app.dispatcher.handle_to_wire(
+                    method, path, body)
                 sp.set(status=status)
             self._send(status, payload)
         finally:

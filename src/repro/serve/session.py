@@ -21,8 +21,10 @@ session).  Cross-design concurrency comes from running many sessions.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -41,6 +43,25 @@ from repro.utils import get_logger, require
 logger = get_logger("serve.session")
 
 EDIT_OPS = ("resize", "move")
+
+
+def _normalize_infer(fn: Callable) -> Callable:
+    """Adapt an infer callable to the ``(sample, timeout=None)`` shape.
+
+    :meth:`MicroBatcher.submit` already takes a ``timeout``; a bare
+    ``predictor.predict_array`` (or a test stub) does not — wrap it so
+    the session can always pass the request's remaining deadline down.
+    """
+    try:
+        params = inspect.signature(fn).parameters
+        takes_timeout = ("timeout" in params
+                         or any(p.kind is p.VAR_KEYWORD
+                                for p in params.values()))
+    except (TypeError, ValueError):  # builtins, odd callables
+        takes_timeout = False
+    if takes_timeout:
+        return fn
+    return lambda sample, timeout=None: fn(sample)
 
 
 @dataclass(frozen=True)
@@ -101,7 +122,8 @@ class DesignSession:
                 "predictor must be fitted (or loaded) before serving")
         self.name = flow.name
         self.predictor = predictor
-        self._infer = infer if infer is not None else predictor.predict_array
+        self._infer = _normalize_infer(
+            infer if infer is not None else predictor.predict_array)
         self.seed = seed
         self.netlist = flow.input_netlist
         self.placement = flow.input_placement
@@ -145,16 +167,21 @@ class DesignSession:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def predict(self, endpoints: Optional[Sequence[int]] = None
-                ) -> Dict[int, float]:
+    def predict(self, endpoints: Optional[Sequence[int]] = None,
+                deadline_s: Optional[float] = None) -> Dict[int, float]:
         """Batched endpoint predictions at the current design state.
 
         *endpoints* filters to a subset of endpoint pin ids; the model
         always embeds all endpoints in one batch (that is its native
         shape), so a subset costs the same as the full set.
+
+        *deadline_s* bounds the whole call — lock wait, micro-batch
+        wait, and the forward pass; :class:`TimeoutError` on expiry.
         """
-        with self._lock:
-            pred = self._baseline_array()
+        t_end = (None if deadline_s is None
+                 else time.perf_counter() + deadline_s)
+        with self._locked(t_end):
+            pred = self._baseline_array(t_end)
             by_pin = {int(p): float(v)
                       for p, v in zip(self.sample.endpoint_pins, pred)}
         if endpoints is None:
@@ -165,25 +192,40 @@ class DesignSession:
         return {int(p): by_pin[int(p)] for p in endpoints}
 
     def whatif(self, edits: Sequence[Edit],
-               commit: bool = False) -> Dict[str, Any]:
+               commit: bool = False,
+               deadline_s: Optional[float] = None) -> Dict[str, Any]:
         """Apply *edits*, re-featurize incrementally, re-predict.
 
         With ``commit=False`` (the default) the edits are reverted before
         returning, so the session state is untouched — a pure question.
         Returns predictions, the analytic pre-route WNS/TNS after the
         edits, and the shift against the pre-edit predictions.
+
+        *deadline_s* bounds the whole call (lock + batcher wait + both
+        forwards); :class:`TimeoutError` on expiry.  A timeout before
+        the commit point leaves the session at its pre-call state.
         """
         edits = [e if isinstance(e, Edit) else Edit.from_dict(e)
                  for e in edits]
         require(len(edits) > 0, "whatif needs at least one edit")
-        with self._lock:
+        t_end = (None if deadline_s is None
+                 else time.perf_counter() + deadline_s)
+        with self._locked(t_end):
             sp = get_tracer().span("serve.whatif", design=self.name,
                                    edits=len(edits), commit=commit)
             with sp:
-                before = self._baseline_array()
+                before = self._baseline_array(t_end)
                 inverse = self._apply(edits)
-                self._refresh()
-                after = self._infer(self.sample)
+                try:
+                    self._refresh()
+                    after = self._infer(self.sample,
+                                        timeout=_remaining(t_end))
+                except TimeoutError:
+                    # Restore the pre-call state before surfacing the
+                    # deadline, so an expired what-if is still pure.
+                    self._apply(inverse)
+                    self._refresh()
+                    raise
                 sta_after = self.sta.result
                 if commit:
                     self.revision += 1
@@ -234,10 +276,28 @@ class DesignSession:
         }
 
     # ------------------------------------------------------------------
-    def _baseline_array(self) -> np.ndarray:
+    @contextmanager
+    def _locked(self, t_end: Optional[float] = None):
+        """Acquire the session lock, honoring an absolute deadline."""
+        if t_end is None:
+            acquired = self._lock.acquire()
+        else:
+            acquired = self._lock.acquire(
+                timeout=max(t_end - time.perf_counter(), 0.0))
+            if not acquired:
+                raise TimeoutError(
+                    f"session {self.name} stayed busy past the "
+                    "request deadline")
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def _baseline_array(self, t_end: Optional[float] = None) -> np.ndarray:
         """Predictions at the committed state (cached; caller holds lock)."""
         if self._baseline is None:
-            self._baseline = self._infer(self.sample)
+            self._baseline = self._infer(self.sample,
+                                         timeout=_remaining(t_end))
         return self._baseline
 
     def _apply(self, edits: Sequence[Edit]) -> List[Edit]:
@@ -270,3 +330,10 @@ class DesignSession:
     def _refresh(self) -> None:
         self.featurizer.refresh()
         self.sta.refresh()
+
+
+def _remaining(t_end: Optional[float]) -> Optional[float]:
+    """Absolute perf_counter deadline → remaining seconds (None = ∞)."""
+    if t_end is None:
+        return None
+    return max(t_end - time.perf_counter(), 0.0)

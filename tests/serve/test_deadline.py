@@ -1,0 +1,180 @@
+"""Deadline accounting regression tests.
+
+The bug being pinned down: a request's deadline used to stop counting
+once it entered the micro-batcher — ``MicroBatcher.submit`` waited on
+its completion event with **no timeout**, so a request could sit in the
+batch-formation window (or behind a slow batch) for arbitrarily long
+after its HTTP deadline had passed and still be served instead of
+returning 504.  Now the remaining budget is threaded through the session
+into ``submit(sample, timeout=...)`` and the wait itself can expire.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import DesignSession, MicroBatcher, RequestDispatcher
+from repro.serve.batcher import _Pending
+
+
+class _SlowPredictor:
+    """Duck-typed predictor whose packed forward takes ``delay_s``."""
+
+    def __init__(self, base, delay_s):
+        self._base = base
+        self.delay_s = delay_s
+
+    def predict_batch_arrays(self, samples):
+        time.sleep(self.delay_s)
+        return self._base.predict_batch_arrays(samples)
+
+
+class TestBatcherTimeout:
+    def test_wait_expires_inside_formation_window(self, served_predictor,
+                                                  tiny_sample):
+        """A deadline shorter than max_wait_s must fire, not hang."""
+        batcher = MicroBatcher(_SlowPredictor(served_predictor, 0.0),
+                               max_batch=8, max_wait_s=5.0)
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(TimeoutError, match="deadline"):
+                batcher.submit(tiny_sample, timeout=0.1)
+            # The regression would block the full 5s formation window.
+            assert time.perf_counter() - t0 < 2.0
+        finally:
+            batcher.stop()
+
+    def test_wait_expires_behind_slow_batch(self, served_predictor,
+                                            tiny_sample):
+        batcher = MicroBatcher(_SlowPredictor(served_predictor, 0.6),
+                               max_batch=1, max_wait_s=0.0)
+        try:
+            with pytest.raises(TimeoutError):
+                batcher.submit(tiny_sample, timeout=0.05)
+        finally:
+            batcher.stop()
+
+    def test_expired_slot_is_abandoned_not_delivered(self,
+                                                     served_predictor,
+                                                     tiny_sample):
+        batcher = MicroBatcher(_SlowPredictor(served_predictor, 0.3),
+                               max_batch=1, max_wait_s=0.0)
+        try:
+            with pytest.raises(TimeoutError):
+                batcher.submit(tiny_sample, timeout=0.05)
+            # The worker still finishes its batch and the batcher keeps
+            # serving fresh requests afterwards.
+            got = batcher.submit(tiny_sample, timeout=10.0)
+            want = served_predictor.predict_array(tiny_sample)
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=0.0)
+        finally:
+            batcher.stop()
+
+    def test_no_timeout_still_blocks_to_completion(self, served_predictor,
+                                                   tiny_sample):
+        batcher = MicroBatcher(served_predictor, max_batch=4,
+                               max_wait_s=0.01)
+        try:
+            got = batcher.submit(tiny_sample)  # timeout=None: wait it out
+            assert got.shape == (tiny_sample.n_endpoints,)
+        finally:
+            batcher.stop()
+
+    def test_abandoned_flag_set(self):
+        pending = _Pending(sample=None)
+        assert pending.abandoned is False
+
+
+class TestSessionDeadline:
+    def test_predict_deadline_counts_infer_wait(self, fresh_flow,
+                                                served_predictor):
+        """The session passes its remaining budget into the infer call."""
+        seen = {}
+
+        def slow_infer(sample, timeout=None):
+            seen["timeout"] = timeout
+            if timeout is not None and timeout < 0.5:
+                raise TimeoutError("simulated batcher expiry")
+            return served_predictor.predict_array(sample)
+
+        session = DesignSession(fresh_flow, served_predictor,
+                                infer=slow_infer)
+        with pytest.raises(TimeoutError):
+            session.predict(deadline_s=0.05)
+        assert seen["timeout"] is not None and seen["timeout"] <= 0.05
+
+    def test_whatif_timeout_restores_state(self, fresh_flow,
+                                           served_predictor):
+        """A what-if that expires mid-flight must stay pure."""
+        calls = {"n": 0}
+
+        def flaky_infer(sample, timeout=None):
+            calls["n"] += 1
+            if timeout is not None and timeout <= 0.0:
+                raise TimeoutError("expired")
+            return served_predictor.predict_array(sample)
+
+        session = DesignSession(fresh_flow, served_predictor,
+                                infer=flaky_infer)
+        cid = next(iter(session.netlist.cells))
+        x0, y0 = session.placement.position(cid)
+        before = session.predict()
+        with pytest.raises(TimeoutError):
+            # Deadline that survives the baseline pass but has expired by
+            # the post-edit inference (deadline_s=0 expires immediately;
+            # baseline is cached from predict() above so it's not
+            # re-inferred).
+            session.whatif([{"op": "move", "cell": cid,
+                             "x": x0 + 3.0, "y": y0 + 3.0}],
+                           deadline_s=0.0)
+        assert session.placement.position(cid) == (x0, y0)
+        assert session.revision == 0
+        assert session.predict() == before
+
+    def test_lock_wait_counts_against_deadline(self, fresh_flow,
+                                               served_predictor):
+        import threading
+
+        session = DesignSession(fresh_flow, served_predictor)
+        release = threading.Event()
+
+        def hold_lock():
+            with session._lock:
+                release.wait(5.0)
+
+        holder = threading.Thread(target=hold_lock, daemon=True)
+        holder.start()
+        time.sleep(0.05)  # let the holder grab the lock
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(TimeoutError, match="busy"):
+                session.predict(deadline_s=0.1)
+            assert time.perf_counter() - t0 < 2.0
+        finally:
+            release.set()
+            holder.join(timeout=5.0)
+
+
+class TestDispatcherDeadline:
+    def test_predict_504_includes_batcher_wait(self, fresh_flow,
+                                               served_predictor):
+        """End to end: deadline expiring inside infer → structured 504."""
+        def stuck_infer(sample, timeout=None):
+            if timeout is not None:
+                time.sleep(min(timeout, 0.2))
+                raise TimeoutError(
+                    "inference did not complete within the deadline "
+                    "(micro-batch wait included)")
+            return served_predictor.predict_array(sample)
+
+        session = DesignSession(fresh_flow, served_predictor,
+                                infer=stuck_infer)
+        dispatcher = RequestDispatcher({"xgate": session})
+        status, payload = dispatcher.handle_to_wire(
+            "POST", "/predict", {"design": "xgate", "deadline_s": 0.1})
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+        assert "micro-batch" in payload["error"]["message"]

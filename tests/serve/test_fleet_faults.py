@@ -1,0 +1,239 @@
+"""Fault-injection battery for the serving fleet.
+
+Proves the ISSUE's recovery contract:
+
+* a worker killed with SIGKILL **mid-request** leaves every in-flight
+  client with a definite answer — pure requests are transparently
+  retried on the replacement worker, committed what-ifs get a clean,
+  retryable 503 (never a hang, never a wrong answer);
+* the dead worker's sessions re-materialize on the replacement with
+  their committed revisions intact (journal replay);
+* a drain (SIGTERM path) finishes in-flight requests before shutdown
+  and sheds new ones with a structured 503.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.flow import run_flow
+
+from .conftest import FLOW_CONFIG, http_call
+
+
+@pytest.fixture(scope="module")
+def xgate_flow():
+    return run_flow("xgate", FLOW_CONFIG)
+
+
+@pytest.fixture
+def gateway(fleet_gateway, xgate_flow):
+    return fleet_gateway({"xgate": xgate_flow}, workers=1,
+                         fault_injection=True)
+
+
+def _home_pid(gateway, design="xgate"):
+    _, _, health = http_call(gateway.address, "GET", "/health")
+    wid = health["fleet"]["designs"][design]
+    return wid, gateway.fleet.workers[wid].pid
+
+
+class TestKillNineMidRequest:
+    def test_pure_request_is_retried_or_rejected_cleanly(self, gateway):
+        """SIGKILL with a predict in flight: 200 (retried) — never a hang
+        or a connection error."""
+        _, pid = _home_pid(gateway)
+        outcome = {}
+
+        def fire():
+            outcome["result"] = http_call(
+                gateway.address, "POST", "/predict",
+                {"design": "xgate", "_inject": {"sleep_s": 1.5}},
+                timeout=60.0)
+
+        t = threading.Thread(target=fire)
+        t.start()
+        time.sleep(0.4)  # request is now sleeping inside the worker
+        os.kill(pid, signal.SIGKILL)
+        t.join(timeout=60.0)
+        assert not t.is_alive(), "in-flight request hung after SIGKILL"
+        status, _, body = outcome["result"]
+        # Pure request: the fleet retries it on the replacement worker.
+        assert status == 200
+        assert body["design"] == "xgate"
+        assert body["n_endpoints"] == len(body["predictions"])
+
+    def test_committed_whatif_gets_clean_503(self, gateway):
+        """A commit in flight on a dying worker is ambiguous — it must
+        fail with a retryable 503, not be silently replayed."""
+        _, pid = _home_pid(gateway)
+        outcome = {}
+
+        def fire():
+            outcome["result"] = http_call(
+                gateway.address, "POST", "/whatif",
+                {"design": "xgate", "commit": True,
+                 "_inject": {"sleep_s": 1.5},
+                 "edits": [{"op": "move", "cell": 1, "x": 3.0,
+                            "y": 3.0}]},
+                timeout=60.0)
+
+        t = threading.Thread(target=fire)
+        t.start()
+        time.sleep(0.4)
+        os.kill(pid, signal.SIGKILL)
+        t.join(timeout=60.0)
+        assert not t.is_alive()
+        status, _, body = outcome["result"]
+        assert status == 503
+        assert body["error"]["code"] == "worker_lost"
+        # The journal never saw the ack, so the replacement is at rev 0.
+        _, _, designs = http_call(gateway.address, "GET", "/designs")
+        assert designs["designs"]["xgate"]["revision"] == 0
+
+    def test_fleet_keeps_serving_after_kill(self, gateway):
+        _, pid = _home_pid(gateway)
+        os.kill(pid, signal.SIGKILL)
+        status, _, body = http_call(gateway.address, "POST", "/predict",
+                                    {"design": "xgate"}, timeout=60.0)
+        assert status == 200 and body["n_endpoints"] > 0
+        _, _, health = http_call(gateway.address, "GET", "/health")
+        worker = health["fleet"]["per_worker"][0]
+        assert worker["restarts"] == 1 and worker["alive"]
+
+
+class TestRematerialization:
+    def test_committed_revisions_survive_worker_death(self, gateway):
+        """Journal replay restores the shard's committed state."""
+        for i in range(2):
+            status, _, body = http_call(
+                gateway.address, "POST", "/whatif",
+                {"design": "xgate", "commit": True,
+                 "edits": [{"op": "move", "cell": 1,
+                            "x": 2.0 + i, "y": 2.0 + i}]})
+            assert status == 200 and body["revision"] == i + 1
+        _, _, after_commit = http_call(gateway.address, "POST",
+                                       "/predict", {"design": "xgate"})
+        assert after_commit["revision"] == 2
+
+        _, pid = _home_pid(gateway)
+        os.kill(pid, signal.SIGKILL)
+
+        status, _, body = http_call(gateway.address, "POST", "/predict",
+                                    {"design": "xgate"}, timeout=60.0)
+        assert status == 200
+        assert body["revision"] == 2, "journal replay lost a commit"
+        # The replayed state predicts exactly what the dead worker did:
+        # same committed placement, same shared weights.
+        assert body["predictions"] == after_commit["predictions"]
+
+    def test_repeated_kills(self, gateway):
+        """Recovery is not a one-shot: survive several crashes."""
+        for round_no in range(1, 3):
+            _, pid = _home_pid(gateway)
+            os.kill(pid, signal.SIGKILL)
+            status, _, _ = http_call(gateway.address, "POST", "/predict",
+                                     {"design": "xgate"}, timeout=60.0)
+            assert status == 200
+            _, _, health = http_call(gateway.address, "GET", "/health")
+            assert (health["fleet"]["per_worker"][0]["restarts"]
+                    == round_no)
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_sheds_new(self, fleet_gateway,
+                                                   xgate_flow):
+        gateway = fleet_gateway({"xgate": xgate_flow}, workers=1,
+                                fault_injection=True)
+        inflight = {}
+
+        def slow():
+            inflight["result"] = http_call(
+                gateway.address, "POST", "/predict",
+                {"design": "xgate", "_inject": {"sleep_s": 1.2}},
+                timeout=60.0)
+
+        t = threading.Thread(target=slow)
+        t.start()
+        time.sleep(0.3)  # the slow request is inside the worker now
+        gateway.request_drain()
+        time.sleep(0.1)
+
+        # New work is shed while the drain holds the loop open.
+        status, _, body = http_call(gateway.address, "GET", "/health")
+        assert status == 200 and body["status"] == "draining"
+        status, _, body = http_call(gateway.address, "POST", "/predict",
+                                    {"design": "xgate"}, timeout=30.0)
+        assert status == 503
+        assert body["error"]["code"] == "draining"
+
+        # The in-flight request still completes successfully.
+        t.join(timeout=60.0)
+        assert not t.is_alive(), "drain dropped an in-flight request"
+        status, _, body = inflight["result"]
+        assert status == 200 and body["n_endpoints"] > 0
+
+        # And the loop exits once everything is flushed.
+        gateway.stop(drain_timeout_s=15.0)
+        assert gateway.fleet.all_drained
+
+    def test_kill_during_drain_still_drains(self, fleet_gateway,
+                                            xgate_flow):
+        """A worker dying mid-drain must not wedge the drain: the
+        replacement re-runs the pure in-flight request, then drains."""
+        gateway = fleet_gateway({"xgate": xgate_flow}, workers=1,
+                                fault_injection=True)
+        inflight = {}
+
+        def slow():
+            inflight["result"] = http_call(
+                gateway.address, "POST", "/predict",
+                {"design": "xgate", "_inject": {"sleep_s": 1.5}},
+                timeout=60.0)
+
+        t = threading.Thread(target=slow)
+        t.start()
+        time.sleep(0.3)
+        gateway.request_drain()
+        time.sleep(0.1)
+        _, pid = _home_pid(gateway)
+        os.kill(pid, signal.SIGKILL)
+
+        t.join(timeout=60.0)
+        assert not t.is_alive(), "request hung after kill-during-drain"
+        status, _, body = inflight["result"]
+        assert status == 200 and body["n_endpoints"] > 0
+
+        gateway.stop(drain_timeout_s=15.0)
+        assert gateway.fleet.all_drained, "drain wedged after worker death"
+
+    def test_workers_ignore_group_sigterm(self, fleet_gateway,
+                                          xgate_flow):
+        """SIGTERM aimed straight at a worker (as a process-group signal
+        from systemd/timeout would be) is ignored; the parent alone
+        coordinates shutdown over the pipe."""
+        gateway = fleet_gateway({"xgate": xgate_flow}, workers=1)
+        _, pid = _home_pid(gateway)
+        os.kill(pid, signal.SIGTERM)
+        time.sleep(0.5)
+        status, _, body = http_call(gateway.address, "POST", "/predict",
+                                    {"design": "xgate"}, timeout=30.0)
+        assert status == 200
+        _, _, health = http_call(gateway.address, "GET", "/health")
+        worker = health["fleet"]["per_worker"][0]
+        assert worker["restarts"] == 0 and worker["alive"]
+
+    def test_worker_exits_after_drain_ack(self, fleet_gateway,
+                                          xgate_flow):
+        gateway = fleet_gateway({"xgate": xgate_flow}, workers=1)
+        process = gateway.fleet.workers[0].process
+        gateway.stop(drain_timeout_s=15.0)
+        process.join(timeout=5.0)
+        assert not process.is_alive()
+        # Drained exit, not a crash.
+        assert process.exitcode == 0

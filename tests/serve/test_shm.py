@@ -1,0 +1,112 @@
+"""Shared-memory artifact tests (repro.serve.shm).
+
+The fleet's correctness story leans on two properties proven here: the
+attached views are bit-identical to the published arrays (so a worker's
+model is *the same model*), and they are read-only (so a buggy worker
+cannot corrupt its siblings through the shared segment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TimingPredictor
+from repro.serve.shm import SharedArtifact, attach_artifact
+
+
+@pytest.fixture
+def published(artifact_payload):
+    art = SharedArtifact.publish(artifact_payload)
+    yield art
+    art.unlink()
+
+
+class TestRoundTrip:
+    def test_arrays_bit_identical(self, published, artifact_payload):
+        shm, payload = attach_artifact(published.meta)
+        try:
+            assert len(payload["state"]) == len(artifact_payload["state"])
+            for got, want in zip(payload["state"],
+                                 artifact_payload["state"]):
+                np.testing.assert_array_equal(got, want)
+        finally:
+            shm.close()
+
+    def test_extra_payload_carried(self, published, artifact_payload):
+        shm, payload = attach_artifact(published.meta)
+        try:
+            for key in ("format", "schema_version", "model_config",
+                        "norm"):
+                assert payload[key] == artifact_payload[key]
+        finally:
+            shm.close()
+
+    def test_meta_is_small_and_picklable(self, published):
+        import pickle
+
+        blob = pickle.dumps(published.meta)
+        # The whole point: metadata over the pipe, weights via shm.
+        assert len(blob) < 16 * 1024
+        meta = pickle.loads(blob)
+        assert meta.shm_name == published.meta.shm_name
+
+    def test_alignment(self, published):
+        for spec in published.meta.arrays:
+            assert spec.offset % 64 == 0
+
+
+class TestReadOnly:
+    def test_attached_views_reject_writes(self, published):
+        shm, payload = attach_artifact(published.meta)
+        try:
+            for arr in payload["state"]:
+                assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                payload["state"][0][...] = 0.0
+        finally:
+            shm.close()
+
+    def test_shared_predictor_params_alias_segment(self, published):
+        """share_state=True adopts the views — zero copies, read-only."""
+        shm, payload = attach_artifact(published.meta)
+        try:
+            predictor = TimingPredictor.from_artifact(
+                payload, source="<shm>", share_state=True)
+            params = predictor.model.parameters()
+            assert params  # sanity
+            for p, arr in zip(params, payload["state"]):
+                assert p.data is arr
+                assert not p.data.flags.writeable
+        finally:
+            shm.close()
+
+    def test_shared_predictor_forward_bit_identical(
+            self, published, served_predictor, tiny_sample):
+        shm, payload = attach_artifact(published.meta)
+        try:
+            shared = TimingPredictor.from_artifact(
+                payload, source="<shm>", share_state=True)
+            np.testing.assert_array_equal(
+                shared.predict_array(tiny_sample),
+                served_predictor.predict_array(tiny_sample))
+        finally:
+            shm.close()
+
+
+class TestLifecycle:
+    def test_unlink_idempotent(self, artifact_payload):
+        art = SharedArtifact.publish(artifact_payload)
+        art.unlink()
+        art.unlink()  # second call must be a no-op, not a crash
+
+    def test_attach_after_unlink_fails(self, artifact_payload):
+        art = SharedArtifact.publish(artifact_payload)
+        meta = art.meta
+        art.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_artifact(meta)
+
+    def test_publish_requires_state(self):
+        with pytest.raises(ValueError):
+            SharedArtifact.publish({"model_config": {}})
