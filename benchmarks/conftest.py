@@ -61,17 +61,26 @@ def run_once(benchmark, fn):
 
 BENCH_OUT = Path(__file__).resolve().parent.parent / "data" / "bench"
 
+#: Prior headline entries carried forward per benchmark artifact.
+BENCH_HISTORY = 8
+
 
 def emit_bench(name: str, payload: dict) -> Path:
     """Write a benchmark's headline numbers to ``BENCH_<name>.json``.
 
     Every benchmark emits its measurements as a small machine-readable
     artifact under ``data/bench/`` so CI can upload them and runs can be
-    compared over time without scraping stdout.
+    compared over time without scraping stdout.  The write is atomic
+    (temp file + rename) — a benchmark killed mid-emit can no longer
+    leave a truncated JSON behind — and a corrupt existing file is
+    logged and overwritten rather than crashing the run.  The previous
+    run's headline numbers are carried forward under ``history`` (most
+    recent first, bounded) so a single artifact shows the trend.
     """
-    import json
     import platform
     import time
+
+    from repro.utils import atomic_json_dump, get_logger, load_json_or_none
 
     BENCH_OUT.mkdir(parents=True, exist_ok=True)
     out = dict(payload)
@@ -85,7 +94,10 @@ def emit_bench(name: str, payload: dict) -> Path:
     except (AttributeError, OSError):
         pass
     path = BENCH_OUT / f"BENCH_{name}.json"
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(out, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    prior = load_json_or_none(path, get_logger("bench.emit"))
+    if isinstance(prior, dict):
+        history = [{k: v for k, v in prior.items() if k != "history"}]
+        history += list(prior.get("history", []))
+        out["history"] = history[:BENCH_HISTORY]
+    atomic_json_dump(out, path)
     return path

@@ -104,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--microbatch-wait-ms", type=float, default=2.0,
                        help="how long a micro-batch waits for company "
                             "after its first request arrives")
+    p_srv.add_argument("--precision", choices=("fp64", "fp32", "int8"),
+                       default="fp64",
+                       help="inference tier: fp64 (bit-exact default), "
+                            "fp32 (toleranced), or int8 (per-channel "
+                            "weight quantization)")
+    p_srv.add_argument("--plan-cache", type=Path, default=None,
+                       help="directory for the persistent packed-plan "
+                            "cache (workers warm-start merged level "
+                            "plans from here)")
+    p_srv.add_argument("--session-ttl", type=float, default=None,
+                       help="evict design sessions idle longer than "
+                            "this many seconds (default: never)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -259,6 +271,11 @@ def cmd_serve(args) -> int:
     flow_config = FlowConfig(scale=args.scale, base_seed=args.seed)
     flows = {d: run_flow(d, flow_config) for d in args.designs}
 
+    if args.plan_cache is not None:
+        from repro.ml.plancache import configure_plan_cache
+
+        configure_plan_cache(args.plan_cache)
+
     registry = PredictorRegistry()
     if args.model.exists():
         registry.register("default", args.model)
@@ -284,10 +301,18 @@ def cmd_serve(args) -> int:
                         microbatch=args.microbatch,
                         microbatch_wait_ms=args.microbatch_wait_ms,
                         deadline_s=args.deadline,
-                        queue_depth=args.queue_depth),
+                        queue_depth=args.queue_depth,
+                        precision=args.precision,
+                        plan_cache_dir=(str(args.plan_cache)
+                                        if args.plan_cache else None),
+                        session_ttl_s=args.session_ttl),
             seeds={d: args.seed for d in flows}).start()
-        gateway = TimingGateway(fleet, host=args.host, port=args.port,
-                                model_info=registry.describe("default"))
+        gateway = TimingGateway(
+            fleet, host=args.host, port=args.port,
+            # The registry captured the artifact's own tier; report the
+            # tier the workers actually serve at.
+            model_info=dict(registry.describe("default"),
+                            precision=args.precision))
         host, port = gateway.bind()
         signal.signal(signal.SIGTERM,
                       lambda signum, frame: gateway.request_drain())
@@ -298,19 +323,26 @@ def cmd_serve(args) -> int:
 
     samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
                for d, f in flows.items()}
+
+    def acquire():
+        predictor = registry.acquire("default")
+        if args.precision != predictor.precision:
+            predictor.set_precision(args.precision)
+        return predictor
+
     batcher = None
     infer = None
     if args.microbatch > 1:
         # One shared predictor behind the batcher: only its worker
         # thread touches the model, so sessions need no private copies.
-        batcher = MicroBatcher(registry.acquire("default"),
+        batcher = MicroBatcher(acquire(),
                                max_batch=args.microbatch,
                                max_wait_s=args.microbatch_wait_ms * 1e-3)
         infer = batcher.submit
     sessions = {
         d: DesignSession(flows[d],
                          batcher.predictor if batcher is not None
-                         else registry.acquire("default"),
+                         else acquire(),
                          seed=args.seed, sample=samples[d], infer=infer)
         for d in args.designs}
     server = TimingServer(
@@ -318,8 +350,10 @@ def cmd_serve(args) -> int:
         ServerConfig(host=args.host, port=args.port,
                      max_workers=args.threads, deadline_s=args.deadline,
                      microbatch=args.microbatch,
-                     microbatch_wait_ms=args.microbatch_wait_ms),
-        model_info=registry.describe("default"),
+                     microbatch_wait_ms=args.microbatch_wait_ms,
+                     session_ttl_s=args.session_ttl),
+        model_info=dict(registry.describe("default"),
+                        precision=args.precision),
         batcher=batcher)
     host, port = server.bind()
     print(f"serving {sorted(sessions)} on http://{host}:{port}",

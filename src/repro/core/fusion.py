@@ -33,7 +33,15 @@ from repro.core.gnn import EndpointGNN
 from repro.ml.batch import PackedBatch
 from repro.ml.features import CELL_FEATURE_DIM, NET_FEATURE_DIM
 from repro.ml.sample import DesignSample
-from repro.nn import Linear, Module, ReLU, Sequential, inference_mode, mlp
+from repro.nn import (
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    inference_mode,
+    mlp,
+    ws_empty,
+)
 from repro.utils import require, spawn_rng
 
 VARIANTS = ("full", "gnn", "cnn")
@@ -108,18 +116,37 @@ class RestructureTolerantModel(Module):
 
     def _forward_batch(self, batch: PackedBatch,
                        training: bool) -> np.ndarray:
+        inference = not training
         parts = []
         if self.gnn is not None:
             h = self.gnn.forward(batch, training=training)
-            parts.append(h[batch.endpoint_nodes])
+            if inference:
+                # Plain np.take: the out= variant goes through numpy's
+                # buffered copy path and is ~2x slower than allocating.
+                parts.append(np.take(h, batch.endpoint_nodes, axis=0))
+            else:
+                parts.append(h[batch.endpoint_nodes])
         masks = None
         if self.cnn is not None:
             global_maps = self.cnn.forward_batch(batch.layout_stacks)
-            masks = batch.masks.astype(float)
             # (E, P4): each endpoint masks ITS design's map, Eq. (6).
-            masked = masks * global_maps[batch.endpoint_sample]
+            if inference:
+                # float * bool equals bool.astype(float) * float bit for
+                # bit; skipping the astype drops an (E, P4) allocation.
+                masked = np.take(global_maps, batch.endpoint_sample,
+                                 axis=0)
+                masked *= batch.masks
+            else:
+                masks = batch.masks.astype(float)
+                masked = masks * global_maps[batch.endpoint_sample]
             parts.append(self.layout_fc.forward(masked))
-        z = np.concatenate(parts, axis=1)
+        if inference:
+            width = sum(p.shape[1] for p in parts)
+            z = np.concatenate(parts, axis=1,
+                               out=ws_empty((parts[0].shape[0], width),
+                                            parts[0].dtype))
+        else:
+            z = np.concatenate(parts, axis=1)
         pred = self.regressor.forward(z).ravel()
         if training:
             self._cache = (batch, masks)

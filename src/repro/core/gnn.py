@@ -29,8 +29,9 @@ from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
+from repro.ml.batch import plan_orders
 from repro.ml.sample import DesignSample
-from repro.nn import Module, Parameter, mlp
+from repro.nn import Module, Parameter, mlp, ws_empty
 from repro.utils import require
 
 if TYPE_CHECKING:  # import cycle guard: repro.ml.batch imports repro.core
@@ -38,16 +39,6 @@ if TYPE_CHECKING:  # import cycle guard: repro.ml.batch imports repro.core
 
 #: Anything with the node-level sample interface the GNN consumes.
 SampleLike = Union[DesignSample, "PackedBatch"]
-
-_NO_NODES = np.zeros(0, dtype=np.int64)
-
-
-def _plan_orders(plans) -> tuple:
-    """(cell node ids, net node ids), each concatenated in level order."""
-    cells = [p.cell_nodes for p in plans if len(p.cell_nodes)]
-    nets = [p.net_nodes for p in plans if len(p.net_nodes)]
-    return (np.concatenate(cells) if cells else _NO_NODES,
-            np.concatenate(nets) if nets else _NO_NODES)
 
 
 class EndpointGNN(Module):
@@ -111,13 +102,25 @@ class EndpointGNN(Module):
         """
         h = self.hidden
         n = sample.n_nodes
+        inference = not training
         # Sentinel row at index -1 carries -inf so padded predecessor slots
-        # never win the max.
-        big = np.full((n + 1, h), -np.inf)
+        # never win the max.  Inference borrows the propagation buffer
+        # from the active workspace arena, and runs in fp32 when a
+        # reduced-precision tier is set — both leave the default fp64
+        # values bit-identical (same ops, pooled destinations).  Gathers
+        # stay allocating on purpose: ``np.take`` without ``out=`` is
+        # ~2x faster than take-into-a-buffer (numpy routes the out=
+        # variant through a buffered copy path).
+        cell_order, net_order, level0 = plan_orders(sample)
+        if inference:
+            dt = np.float64 if self.precision == "fp64" else np.float32
+            big = ws_empty((n + 1, h), dt)
+            big.fill(-np.inf)
+        else:
+            big = np.full((n + 1, h), -np.inf)
         big[sample.source_nodes] = self.source_emb.data
         # Unreachable isolated nodes would poison downstream levels; give
         # every level-0 node the source embedding.
-        level0 = np.where(sample.level == 0)[0]
         big[level0] = self.source_emb.data
 
         # The feature branches f_c2/f_n see only node features, never the
@@ -125,9 +128,14 @@ class EndpointGNN(Module):
         # in level order — one batched MLP call each instead of one small
         # call per level.  Same per-row arithmetic; the level loop then
         # just slices the precomputed rows.
-        cell_order, net_order = _plan_orders(sample.plans)
-        feat_c = self.f_c2.forward(sample.x_cell[cell_order])
-        feat_n = self.f_n.forward(sample.x_net[net_order])
+        if inference:
+            x_c = np.take(sample.x_cell, cell_order, axis=0)
+            x_n = np.take(sample.x_net, net_order, axis=0)
+        else:
+            x_c = sample.x_cell[cell_order]
+            x_n = sample.x_net[net_order]
+        feat_c = self.f_c2.forward(x_c)
+        feat_n = self.f_n.forward(x_n)
 
         caches: List[dict] = []
         c_off = n_off = 0
@@ -135,33 +143,43 @@ class EndpointGNN(Module):
             entry: dict = {}
             mc = len(plan.cell_nodes)
             if mc:
-                gathered = big[plan.cell_preds]          # (m, K, h)
                 if training:
+                    gathered = big[plan.cell_preds]      # (m, K, h)
                     arg = gathered.argmax(axis=1)        # (m, h)
                     maxv = np.take_along_axis(gathered, arg[:, None, :],
                                               axis=1)[:, 0]
                 else:
-                    maxv = gathered.max(axis=1)
-                pre = self.f_c1.forward(maxv) + feat_c[c_off:c_off + mc]
-                if self.residual:
-                    pre = pre + maxv
+                    # np.take treats the -1 padding exactly like fancy
+                    # indexing: it selects the last (sentinel) row.
+                    gathered = np.take(big, plan.cell_preds, axis=0)
+                    maxv = gathered.max(axis=1,
+                                        out=ws_empty((mc, h), big.dtype))
                 if training:
+                    pre = self.f_c1.forward(maxv) + feat_c[c_off:c_off + mc]
+                    if self.residual:
+                        pre = pre + maxv
                     mask = pre > 0
                     big[plan.cell_nodes] = pre * mask
                     entry["cell_mask"] = mask
                     entry["cell_winner"] = np.take_along_axis(
                         plan.cell_preds, arg, axis=1)    # (m, h) node ids
                 else:
+                    pre = self.f_c1.forward(maxv)
+                    pre += feat_c[c_off:c_off + mc]
+                    if self.residual:
+                        pre += maxv
                     big[plan.cell_nodes] = np.maximum(pre, 0.0, out=pre)
                 c_off += mc
             mn = len(plan.net_nodes)
             if mn:
-                pre = big[plan.net_drivers] + feat_n[n_off:n_off + mn]
                 if training:
+                    pre = big[plan.net_drivers] + feat_n[n_off:n_off + mn]
                     mask = pre > 0
                     big[plan.net_nodes] = pre * mask
                     entry["net_mask"] = mask
                 else:
+                    pre = np.take(big, plan.net_drivers, axis=0)
+                    pre += feat_n[n_off:n_off + mn]
                     big[plan.net_nodes] = np.maximum(pre, 0.0, out=pre)
                 n_off += mn
             caches.append(entry)
@@ -186,7 +204,7 @@ class EndpointGNN(Module):
         # backward once.  dh[nodes of level L] is final by the time the
         # reverse sweep reaches level L, so the collected rows equal the
         # per-level calls'.
-        cell_order, net_order = _plan_orders(sample.plans)
+        cell_order, net_order, level0 = plan_orders(sample)
         gc_all = np.zeros((len(cell_order), self.hidden))
         gn_all = np.zeros((len(net_order), self.hidden))
         c_off, n_off = len(cell_order), len(net_order)
@@ -212,6 +230,5 @@ class EndpointGNN(Module):
                 np.add.at(dh, (winner.ravel(), dims.ravel()), ga.ravel())
         self.f_c2.backward(gc_all)
         self.f_n.backward(gn_all)
-        level0 = np.where(sample.level == 0)[0]
         self.source_emb.grad += dh[level0].sum(axis=0)
         self._sample = None

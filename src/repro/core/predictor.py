@@ -20,17 +20,40 @@ from repro.core.trainer import LabelNorm, Trainer, TrainerConfig
 from repro.flow import FlowResult
 from repro.ml.batch import PackedBatch
 from repro.ml.sample import DesignSample
-from repro.nn import load_state_dict, state_dict
+from repro.nn import (
+    PRECISIONS,
+    Conv2d,
+    Linear,
+    Workspace,
+    dequantize,
+    load_state_dict,
+    quantize_per_channel,
+    state_dict,
+    workspace,
+)
 from repro.obs import get_metrics, get_tracer
 from repro.utils import require
 
 #: Version of the on-disk predictor artifact.  v1 was an implicit,
 #: unversioned pickle of a :class:`ModelConfig` instance; v2 stores a
-#: plain-dict payload so artifacts survive dataclass refactors.  Bump on
-#: any payload layout change and teach :meth:`TimingPredictor.from_artifact`
+#: plain-dict payload so artifacts survive dataclass refactors; v3 adds
+#: a ``precision`` field and allows int8-quantized weight entries
+#: (``{"quant", "q", "scale"}`` dicts) in ``state``.  Bump on any
+#: payload layout change and teach :meth:`TimingPredictor.from_artifact`
 #: the migration.
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 ARTIFACT_FORMAT = "repro.timing-predictor"
+
+#: Declared differential-tolerance budget of the fp32 inference tier
+#: against the bit-exact fp64 default, on denormalized arrival times
+#: (ps).  Measured headroom on the golden flows is ~10× tighter; the
+#: budget is enforced in ``tests/nn/test_precision.py`` and the
+#: ``precision-smoke`` CI job (see DESIGN.md "Precision & memory tiers").
+FP32_TOLERANCE = {"rtol": 1e-4, "atol": 5e-2}
+
+#: Maximum allowed degradation of the endpoint-arrival R² (the Table II
+#: accuracy metric) when serving int8-quantized weights instead of fp64.
+INT8_R2_BUDGET = 0.05
 
 
 class TimingPredictor:
@@ -45,6 +68,32 @@ class TimingPredictor:
         self.model = RestructureTolerantModel(self.model_config)
         self.trainer = Trainer(self.model, trainer_config or TrainerConfig())
         self.infer_times: Dict[str, float] = {}
+        self.precision = "fp64"
+        # Inference scratch arena: reused across forwards, released via
+        # :meth:`release_workspace` (session teardown) or the arena's
+        # own byte cap.  ``use_workspace=False`` restores per-request
+        # allocation (the pre-arena behavior) for A/B benchmarking.
+        self.use_workspace = True
+        self._workspace = Workspace()
+
+    def _scope(self):
+        """Workspace activation for one inference call (or a no-op)."""
+        return workspace(self._workspace if self.use_workspace else None)
+
+    def set_precision(self, mode: str) -> None:
+        """Switch the inference tier: ``fp64`` (bit-exact default),
+        ``fp32`` (single-precision end to end, tolerance-budgeted) or
+        ``int8`` (per-channel weight quantization, fp32 compute)."""
+        require(mode in PRECISIONS,
+                f"unknown precision {mode!r} (expected one of {PRECISIONS})")
+        self.model.set_inference_precision(mode)
+        self.precision = mode
+        get_metrics().gauge("model.precision_bits").set(
+            {"fp64": 64, "fp32": 32, "int8": 8}[mode])
+
+    def release_workspace(self) -> None:
+        """Drop pooled inference buffers (e.g. on session teardown)."""
+        self._workspace.release()
 
     # ------------------------------------------------------------------
     def fit(self, train_samples: List[DesignSample]) -> None:
@@ -94,12 +143,13 @@ class TimingPredictor:
                              ) -> List[np.ndarray]:
         """Like :meth:`predict_batch`, returning ``sample.y``-aligned arrays."""
         samples = list(samples)
-        batch = PackedBatch.pack(samples)
-        sp = get_tracer().span("model.infer_batch", stage="infer",
-                               designs=batch.n_samples,
-                               endpoints=batch.n_endpoints)
-        with sp:
-            preds = self.trainer.predict_packed(batch)
+        with self._scope():
+            batch = PackedBatch.pack(samples)
+            sp = get_tracer().span("model.infer_batch", stage="infer",
+                                   designs=batch.n_samples,
+                                   endpoints=batch.n_endpoints)
+            with sp:
+                preds = self.trainer.predict_packed(batch)
         # Amortized per-design wall clock (the "infer" column of Table
         # III still gets one number per design).
         share = sp.duration / max(batch.n_samples, 1)
@@ -119,33 +169,70 @@ class TimingPredictor:
     def _timed_infer(self, sample: DesignSample) -> np.ndarray:
         sp = get_tracer().span("model.infer", stage="infer",
                                design=sample.name)
-        with sp:
+        with sp, self._scope():
             pred = self.trainer.predict(sample)
         self.infer_times[sample.name] = sp.duration
         get_metrics().counter("model.inferences").inc()
         return pred
 
     # ------------------------------------------------------------------
-    def to_artifact(self) -> Dict[str, Any]:
-        """The versioned, plain-data artifact payload (schema v2).
+    def to_artifact(self, precision: Optional[str] = None) -> Dict[str, Any]:
+        """The versioned, plain-data artifact payload (schema v3).
 
         Everything is stdlib/numpy data — no repro classes are pickled,
         so saved artifacts keep loading across dataclass refactors.
+
+        *precision* defaults to the predictor's active tier.  ``int8``
+        stores every Linear/Conv2d weight as a per-channel-quantized
+        ``{"quant", "q", "scale"}`` entry (8× smaller weight storage in
+        the artifact and the fleet's shared-memory segment); ``fp64`` /
+        ``fp32`` store the full fp64 master weights — fp32 is a serving
+        tier, not a storage format, so switching back stays lossless.
         """
         require(self.trainer.norm is not None, "fit() before save()")
+        precision = precision or self.precision
+        require(precision in PRECISIONS,
+                f"unknown precision {precision!r} "
+                f"(expected one of {PRECISIONS})")
+        if precision == "int8":
+            state = self._quantized_state()
+        else:
+            state = state_dict(self.model)
         return {
             "format": ARTIFACT_FORMAT,
             "schema_version": ARTIFACT_SCHEMA_VERSION,
             "model_config": asdict(self.model_config),
-            "state": state_dict(self.model),
+            "state": state,
             "norm": {"mean": self.trainer.norm.mean,
                      "std": self.trainer.norm.std},
+            "precision": precision,
         }
 
-    def save(self, path: Path) -> None:
-        """Persist config, weights and label normalization (schema v2)."""
+    def _quantized_state(self) -> List[Any]:
+        """``state_dict`` with Linear/Conv2d weights quantized to int8.
+
+        An already-active int8 tier re-exports its installed payloads
+        verbatim, so artifact round-trips never re-quantize.
+        """
+        layer_of = {id(m.weight): m for m in self.model.modules()
+                    if isinstance(m, (Linear, Conv2d))}
+        state: List[Any] = []
+        for p in self.model.parameters():
+            layer = layer_of.get(id(p))
+            if layer is None:
+                state.append(p.data.copy())
+            elif getattr(layer, "_quant", None) is not None:
+                q = layer._quant
+                state.append({"quant": q["quant"], "q": q["q"].copy(),
+                              "scale": np.asarray(q["scale"]).copy()})
+            else:
+                state.append(quantize_per_channel(p.data))
+        return state
+
+    def save(self, path: Path, precision: Optional[str] = None) -> None:
+        """Persist config, weights and label normalization (schema v3)."""
         with open(path, "wb") as fh:
-            pickle.dump(self.to_artifact(), fh)
+            pickle.dump(self.to_artifact(precision=precision), fh)
 
     @classmethod
     def from_artifact(cls, payload: Any,
@@ -153,10 +240,17 @@ class TimingPredictor:
                       share_state: bool = False) -> "TimingPredictor":
         """Reconstruct a predictor from an artifact payload.
 
-        Accepts the current schema (v2), or the legacy unversioned format
-        (a pickled ``ModelConfig`` + ``(mean, std)`` tuple) with a
-        :class:`DeprecationWarning`.  Unknown newer versions are rejected
-        with an actionable error instead of mis-loading silently.
+        Accepts the current schema (v3), the previous v2, or the legacy
+        unversioned format (a pickled ``ModelConfig`` + ``(mean, std)``
+        tuple) with a :class:`DeprecationWarning`.  Unknown newer
+        versions are rejected with an actionable error instead of
+        mis-loading silently.
+
+        A v3 payload carrying int8-quantized weight entries is restored
+        with the stored ``q``/``scale`` payloads installed **verbatim**
+        (re-quantizing the dequantized weights could drift the scales by
+        an ulp), and the predictor comes back with its ``precision``
+        tier already applied.
 
         ``share_state=True`` adopts the payload's weight arrays by
         reference instead of copying (inference-only; used by the
@@ -176,7 +270,7 @@ class TimingPredictor:
                 DeprecationWarning, stacklevel=2)
             model_config = payload["model_config"]
             mean, std = payload["norm"]
-        elif version == ARTIFACT_SCHEMA_VERSION:
+        elif version in (2, ARTIFACT_SCHEMA_VERSION):
             model_config = ModelConfig(**payload["model_config"])
             mean, std = payload["norm"]["mean"], payload["norm"]["std"]
         else:
@@ -187,9 +281,23 @@ class TimingPredictor:
                 "format). Upgrade repro to load it, or re-train and "
                 "re-save the predictor with this version.")
         predictor = cls(model_config=model_config)
-        load_state_dict(predictor.model, payload["state"],
-                        copy=not share_state)
+        state = payload["state"]
+        has_quant = any(isinstance(e, dict) for e in state)
+        dense = [dequantize(e["q"], e["scale"]) if isinstance(e, dict)
+                 else e for e in state]
+        load_state_dict(predictor.model, dense, copy=not share_state)
         predictor.trainer.norm = LabelNorm(mean=mean, std=std)
+        precision = "int8" if has_quant else payload.get("precision",
+                                                         "fp64")
+        if precision != "fp64":
+            predictor.set_precision(precision)
+        if has_quant:
+            layer_of = {id(m.weight): m for m in predictor.model.modules()
+                        if isinstance(m, (Linear, Conv2d))}
+            for p, entry in zip(predictor.model.parameters(), state):
+                if isinstance(entry, dict):
+                    layer_of[id(p)]._install_quant(
+                        np.asarray(entry["q"]), np.asarray(entry["scale"]))
         return predictor
 
     @classmethod

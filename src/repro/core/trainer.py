@@ -70,8 +70,14 @@ class LabelNorm:
 
     def denormalize_packed(self, z: np.ndarray,
                            batch: PackedBatch) -> np.ndarray:
-        """Invert :meth:`normalize_packed` (per-endpoint clock periods)."""
-        return (z * self.std + self.mean) * batch.endpoint_clock_periods
+        """Invert :meth:`normalize_packed` (per-endpoint clock periods).
+
+        Preserves ``z``'s dtype: the fp32 inference tier must not be
+        silently upcast by the fp64 clock-period vector on its way out
+        (for fp64 ``z`` the cast is a no-op on the same array).
+        """
+        cp = batch.endpoint_clock_periods.astype(z.dtype, copy=False)
+        return (z * self.std + self.mean) * cp
 
 
 class Trainer:

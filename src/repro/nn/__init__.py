@@ -7,6 +7,7 @@ gradients in the test suite.
 """
 
 from repro.nn.module import (
+    PRECISIONS,
     Module,
     Parameter,
     Sequential,
@@ -21,8 +22,16 @@ from repro.nn.losses import huber_loss, mse_loss
 from repro.nn.optim import SGD, Adam
 from repro.nn.init import kaiming_uniform, xavier_uniform
 from repro.nn.gradcheck import check_layer_gradients, numerical_grad
+from repro.nn.quant import QUANT_SCHEME, dequantize, quantize_per_channel
+from repro.nn.workspace import (
+    Workspace,
+    current_workspace,
+    workspace,
+    ws_empty,
+)
 
 __all__ = [
+    "PRECISIONS",
     "Module",
     "Parameter",
     "Sequential",
@@ -30,6 +39,13 @@ __all__ = [
     "is_inference",
     "load_state_dict",
     "state_dict",
+    "QUANT_SCHEME",
+    "dequantize",
+    "quantize_per_channel",
+    "Workspace",
+    "current_workspace",
+    "workspace",
+    "ws_empty",
     "Flatten",
     "Linear",
     "ReLU",

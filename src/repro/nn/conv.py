@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.nn.init import kaiming_uniform
 from repro.nn.module import Module, Parameter, is_inference
+from repro.nn.quant import dequantize, quantize_per_channel
+from repro.nn.workspace import ws_empty
 from repro.utils import require
 
 
@@ -25,6 +27,32 @@ def _im2col(x: np.ndarray, kh: int, kw: int,
         strides=(s0, s1, s2, s3, s2, s3), writeable=False)
     cols = patches.reshape(n, c * kh * kw, h_out * w_out)
     return np.ascontiguousarray(cols), (n, c, h, w, h_out, w_out)
+
+
+def _im2col_ws(x: np.ndarray, kh: int, kw: int,
+               pad: int) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Arena-backed :func:`_im2col` for the inference path.
+
+    Same patch matrix bit-for-bit; the zero-padded image and the patch
+    buffer both come from the active workspace instead of fresh
+    allocations (``np.pad`` + the overlapping-stride reshape copy are
+    the two big transient buffers of a conv forward).
+    """
+    n, c, h, w = x.shape
+    if pad:
+        padded = ws_empty((n, c, h + 2 * pad, w + 2 * pad), x.dtype)
+        padded.fill(0.0)
+        padded[:, :, pad:-pad, pad:-pad] = x
+        x = padded
+    h_out = h + 2 * pad - kh + 1
+    w_out = w + 2 * pad - kw + 1
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, kh, kw, h_out, w_out),
+        strides=(s0, s1, s2, s3, s2, s3), writeable=False)
+    cols = ws_empty((n, c * kh * kw, h_out * w_out), x.dtype)
+    np.copyto(cols.reshape(n, c, kh, kw, h_out, w_out), patches)
+    return cols, (n, c, h, w, h_out, w_out)
 
 
 def _col2im(cols: np.ndarray, meta: Tuple[int, ...], kh: int, kw: int,
@@ -54,12 +82,57 @@ class Conv2d(Module):
             rng, (out_channels, in_channels, kernel_size, kernel_size)))
         self.bias = Parameter(np.zeros(out_channels))
         self._cache: List[tuple] = []
+        # Flat (O, C*k*k) effective weights for non-fp64 inference tiers.
+        self._w_eff: Optional[np.ndarray] = None
+        self._b_eff: Optional[np.ndarray] = None
+        self._quant = None
+
+    def _set_precision(self, mode: str) -> None:
+        self._precision = mode
+        if mode == "fp64":
+            self._w_eff = self._b_eff = self._quant = None
+            return
+        if mode == "int8":
+            self._quant = quantize_per_channel(self.weight.data)
+            w = dequantize(self._quant["q"], self._quant["scale"],
+                           dtype=np.float32)
+        else:
+            self._quant = None
+            w = self.weight.data.astype(np.float32)
+        self._w_eff = w.reshape(self.weight.shape[0], -1)
+        self._b_eff = self.bias.data.astype(np.float32)
+
+    def _install_quant(self, q: np.ndarray, scale: np.ndarray) -> None:
+        """Adopt a stored int8 payload verbatim (no requantization drift)."""
+        self._precision = "int8"
+        self._quant = {"quant": "int8-perchannel", "q": q, "scale": scale}
+        self._w_eff = dequantize(q, scale, dtype=np.float32).reshape(
+            self.weight.shape[0], -1)
+        self._b_eff = self.bias.data.astype(np.float32)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         require(x.ndim == 4 and x.shape[1] == self.weight.shape[1],
                 f"Conv2d expects (N, {self.weight.shape[1]}, H, W), "
                 f"got {x.shape}")
         k = self.kernel_size
+        if is_inference():
+            if self._w_eff is not None:
+                w_flat, bias = self._w_eff, self._b_eff
+                if x.dtype != w_flat.dtype:
+                    cast = ws_empty(x.shape, w_flat.dtype)
+                    np.copyto(cast, x)
+                    x = cast
+            else:
+                w_flat = self.weight.data.reshape(self.weight.shape[0], -1)
+                bias = self.bias.data
+            cols, meta = _im2col_ws(x, k, k, self.padding)
+            n, _, _, _, h_out, w_out = meta
+            out = ws_empty((n, w_flat.shape[0], cols.shape[2]), w_flat.dtype)
+            np.matmul(w_flat, cols, out=out)
+            out += bias[None, :, None]
+            return out.reshape(n, self.weight.shape[0], h_out, w_out)
+        require(self.precision == "fp64",
+                f"training requires fp64 precision, not {self.precision!r}")
         cols, meta = _im2col(x, k, k, self.padding)
         n, _, _, _, h_out, w_out = meta
         w_flat = self.weight.data.reshape(self.weight.shape[0], -1)
@@ -67,8 +140,7 @@ class Conv2d(Module):
         # would fall back to the slow non-BLAS contraction loop.
         out = np.matmul(w_flat, cols)                    # (n, o, p)
         out += self.bias.data[None, :, None]
-        if not is_inference():
-            self._cache.append((cols, meta))
+        self._cache.append((cols, meta))
         return out.reshape(n, self.weight.shape[0], h_out, w_out)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -101,9 +173,12 @@ class MaxPool2d(Module):
                 # Three elementwise maxima over strided views beat a
                 # ufunc reduce whose reduction axis has length 2 (the
                 # reduce pays its per-output overhead on 2 elements).
-                return np.maximum(
-                    np.maximum(x[:, :, ::2, ::2], x[:, :, ::2, 1::2]),
-                    np.maximum(x[:, :, 1::2, ::2], x[:, :, 1::2, 1::2]))
+                half = (n, c, h // 2, w // 2)
+                a = np.maximum(x[:, :, ::2, ::2], x[:, :, ::2, 1::2],
+                               out=ws_empty(half, x.dtype))
+                b = np.maximum(x[:, :, 1::2, ::2], x[:, :, 1::2, 1::2],
+                               out=ws_empty(half, x.dtype))
+                return np.maximum(a, b, out=a)
             blocks = x.reshape(n, c, h // k, k, w // k, k)
             return blocks.max(axis=5).max(axis=3)
         blocks = x.reshape(n, c, h // k, k, w // k, k)

@@ -8,7 +8,18 @@ import numpy as np
 
 from repro.nn.init import kaiming_uniform
 from repro.nn.module import Module, Parameter, is_inference
+from repro.nn.quant import dequantize, quantize_per_channel
+from repro.nn.workspace import ws_empty
 from repro.utils import require
+
+
+def _cast_input(x: np.ndarray, dtype) -> np.ndarray:
+    """Arena-backed dtype cast (no-op when dtypes already match)."""
+    if x.dtype == dtype:
+        return x
+    out = ws_empty(x.shape, dtype)
+    np.copyto(out, x)
+    return out
 
 
 class Linear(Module):
@@ -21,12 +32,50 @@ class Linear(Module):
         self.weight = Parameter(kaiming_uniform(rng, (out_features, in_features)))
         self.bias = Parameter(np.zeros(out_features)) if bias else None
         self._cache: List[np.ndarray] = []
+        # Effective inference weights for non-fp64 tiers; the fp64
+        # master Parameter is never modified, so tiers are reversible.
+        self._w_eff: Optional[np.ndarray] = None
+        self._b_eff: Optional[np.ndarray] = None
+        self._quant = None
+
+    def _set_precision(self, mode: str) -> None:
+        self._precision = mode
+        if mode == "fp64":
+            self._w_eff = self._b_eff = self._quant = None
+            return
+        if mode == "int8":
+            self._quant = quantize_per_channel(self.weight.data)
+            self._w_eff = dequantize(self._quant["q"], self._quant["scale"],
+                                     dtype=np.float32)
+        else:
+            self._quant = None
+            self._w_eff = self.weight.data.astype(np.float32)
+        self._b_eff = (self.bias.data.astype(np.float32)
+                       if self.bias is not None else None)
+
+    def _install_quant(self, q: np.ndarray, scale: np.ndarray) -> None:
+        """Adopt a stored int8 payload verbatim (no requantization drift)."""
+        self._precision = "int8"
+        self._quant = {"quant": "int8-perchannel", "q": q, "scale": scale}
+        self._w_eff = dequantize(q, scale, dtype=np.float32)
+        self._b_eff = (self.bias.data.astype(np.float32)
+                       if self.bias is not None else None)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         require(x.ndim == 2 and x.shape[1] == self.weight.shape[1],
                 f"Linear expects (N, {self.weight.shape[1]}), got {x.shape}")
-        if not is_inference():
-            self._cache.append(x)
+        if is_inference():
+            w = self._w_eff if self._w_eff is not None else self.weight.data
+            x = _cast_input(x, w.dtype)
+            out = ws_empty((x.shape[0], w.shape[0]), w.dtype)
+            np.matmul(x, w.T, out=out)
+            if self.bias is not None:
+                out += (self._b_eff if self._b_eff is not None
+                        else self.bias.data)
+            return out
+        require(self.precision == "fp64",
+                f"training requires fp64 precision, not {self.precision!r}")
+        self._cache.append(x)
         out = x @ self.weight.data.T
         if self.bias is not None:
             out += self.bias.data
@@ -48,7 +97,7 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if is_inference():
-            return np.maximum(x, 0.0)
+            return np.maximum(x, 0.0, out=ws_empty(x.shape, x.dtype))
         mask = x > 0
         self._cache.append(mask)
         return x * mask
@@ -65,9 +114,10 @@ class Tanh(Module):
         self._cache: List[np.ndarray] = []
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if is_inference():
+            return np.tanh(x, out=ws_empty(x.shape, x.dtype))
         out = np.tanh(x)
-        if not is_inference():
-            self._cache.append(out)
+        self._cache.append(out)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

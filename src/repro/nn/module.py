@@ -21,6 +21,12 @@ from repro.utils import require
 
 _INFERENCE = threading.local()
 
+#: Inference precision tiers (see DESIGN.md "Precision & memory tiers").
+#: ``fp64`` is the bit-exact default; ``fp32`` runs the whole forward in
+#: single precision; ``int8`` stores Linear/Conv weights quantized
+#: per-channel and computes in fp32.
+PRECISIONS = ("fp64", "fp32", "int8")
+
 
 def is_inference() -> bool:
     """True inside an :func:`inference_mode` block (this thread only)."""
@@ -101,6 +107,29 @@ class Module:
             cache.clear()
         elif cache is not None:
             self._cache = None
+
+    def set_inference_precision(self, mode: str) -> None:
+        """Switch this module tree's inference tier (``PRECISIONS``).
+
+        ``fp64`` restores the exact default path; ``fp32``/``int8``
+        precompute per-layer effective weights.  Training requires
+        ``fp64`` — layers raise from ``forward`` otherwise.  The master
+        fp64 parameters are never modified, so switching back is
+        lossless.
+        """
+        require(mode in PRECISIONS,
+                f"unknown precision {mode!r} (expected one of {PRECISIONS})")
+        for module in self.modules():
+            module._set_precision(mode)
+
+    @property
+    def precision(self) -> str:
+        """This module's active inference precision tier."""
+        return self.__dict__.get("_precision", "fp64")
+
+    def _set_precision(self, mode: str) -> None:
+        """Per-module hook for :meth:`set_inference_precision`."""
+        self._precision = mode
 
     def forward(self, *args, **kwargs):
         raise NotImplementedError

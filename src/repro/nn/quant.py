@@ -1,0 +1,48 @@
+"""Weight-only int8 quantization with per-output-channel scales.
+
+The int8 inference tier stores Linear/Conv2d weights as int8 plus one
+fp64 scale per output channel (symmetric, zero-point-free):
+
+    scale[o] = max(|W[o, :]|) / 127        (0-rows get scale 1.0)
+    q[o, :]  = round(W[o, :] / scale[o])   clipped to [-127, 127]
+
+Storage shrinks 8x in artifacts and the fleet's shared-memory segment;
+*compute* stays floating point — the dequantized fp32 weights are
+materialized once per layer and reused, because numpy has no int8 GEMM
+to win anything from.  The accuracy contract is therefore exactly the
+round-trip error ``W - q * scale``, guarded against the Table II
+metrics in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+QUANT_SCHEME = "int8-perchannel"
+
+
+def quantize_per_channel(weight: np.ndarray) -> Dict[str, np.ndarray]:
+    """Quantize ``weight`` along axis 0 (output channels) to int8.
+
+    Returns ``{"quant": QUANT_SCHEME, "q": int8, "scale": fp64}`` with
+    ``q.shape == weight.shape`` and ``scale.shape == (weight.shape[0],)``.
+    """
+    w = np.asarray(weight, dtype=np.float64)
+    flat = w.reshape(w.shape[0], -1)
+    absmax = np.abs(flat).max(axis=1)
+    scale = np.where(absmax > 0.0, absmax / 127.0, 1.0)
+    q = np.clip(np.rint(flat / scale[:, None]), -127, 127).astype(np.int8)
+    return {"quant": QUANT_SCHEME, "q": q.reshape(w.shape),
+            "scale": scale}
+
+
+def dequantize(q: np.ndarray, scale: np.ndarray,
+               dtype=np.float64) -> np.ndarray:
+    """Reconstruct the float weights ``q * scale`` (per output channel)."""
+    q = np.asarray(q)
+    shape = (-1,) + (1,) * (q.ndim - 1)
+    return (q.astype(np.float64)
+            * np.asarray(scale, dtype=np.float64).reshape(shape)
+            ).astype(dtype)

@@ -1,0 +1,136 @@
+"""Buffer-arena workspace: reuse inference scratch buffers across forwards.
+
+Every packed forward allocates the same pyramid of intermediates —
+gathers, activations, im2col patch matrices — and throws them away.  In
+the serving hot path that is pure allocator churn: the shapes repeat
+request after request for a warm design.  A :class:`Workspace` is a pool
+of buffers keyed by ``(shape, dtype)`` that a forward *borrows* from and
+implicitly returns at the start of the next forward:
+
+* :meth:`Workspace.begin` rewinds every pool's cursor (called when the
+  arena is activated for a forward);
+* :func:`ws_empty` hands out the next pooled buffer for a shape, growing
+  the pool on first sight of a shape — so two same-shape requests within
+  one forward get *distinct* buffers, and reuse only happens across
+  forwards;
+* :meth:`Workspace.release` drops every buffer (session teardown, or
+  automatically when the high-water mark exceeds the byte cap).
+
+Lifetime rule (see DESIGN.md "Precision & memory tiers"): a borrowed
+buffer is valid only until the next ``begin()`` on the same workspace.
+Anything that escapes a forward (predictions returned to a client) must
+be a fresh allocation — ``LabelNorm.denormalize`` already copies, which
+is what makes arena use safe in the predictor.
+
+Numerical note: filling results via ``np.matmul(..., out=buf)`` /
+``np.maximum(..., out=buf)`` is bit-identical to the allocating
+spellings — only the destination storage changes, never the operation —
+so the default fp64 path stays exactly reproducible with the arena on.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Soft cap on pooled bytes: checked at ``begin()``; exceeding it releases
+# the pools so one giant request doesn't pin its high-water mark forever.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_Key = Tuple[Tuple[int, ...], str]
+
+
+class Workspace:
+    """A grow-on-demand pool of reusable scratch arrays."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        #: key -> [cursor, buffers]; one dict lookup per borrow.
+        self._pools: Dict[_Key, list] = {}
+        self._hits = 0
+        self._misses = 0
+        self._trims = 0
+
+    def begin(self) -> None:
+        """Rewind all cursors; every pooled buffer becomes borrowable."""
+        if self.nbytes > self.max_bytes:
+            self.release()
+            self._trims += 1
+        for entry in self._pools.values():
+            entry[0] = 0
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Borrow a buffer of ``shape``/``dtype`` until the next begin().
+
+        ``shape`` tuples may mix python ints and numpy integers — they
+        hash and compare equal, so both spellings share one pool.
+        """
+        key = (shape, np.dtype(dtype).str)
+        entry = self._pools.get(key)
+        if entry is None:
+            entry = self._pools[key] = [0, []]
+        cursor = entry[0]
+        entry[0] = cursor + 1
+        pool = entry[1]
+        if cursor < len(pool):
+            self._hits += 1
+            return pool[cursor]
+        self._misses += 1
+        buf = np.empty(shape, dtype=np.dtype(dtype))
+        pool.append(buf)
+        return buf
+
+    def release(self) -> None:
+        """Drop every pooled buffer (session teardown / byte-cap trim)."""
+        self._pools.clear()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for _, pool in self._pools.values()
+                   for buf in pool)
+
+    def describe(self) -> Dict[str, int]:
+        return {
+            "buffers": sum(len(pool) for _, pool in self._pools.values()),
+            "bytes": self.nbytes,
+            "hits": self._hits,
+            "misses": self._misses,
+            "trims": self._trims,
+        }
+
+
+_ACTIVE = threading.local()
+
+
+def current_workspace() -> Optional[Workspace]:
+    """The workspace active on this thread, or None."""
+    return getattr(_ACTIVE, "ws", None)
+
+
+@contextmanager
+def workspace(ws: Optional[Workspace]):
+    """Activate ``ws`` for forwards on this thread (None = no-op).
+
+    Entering the block calls ``ws.begin()``, invalidating buffers lent
+    out by the previous forward — callers must not hold arena arrays
+    across activations.
+    """
+    prev = getattr(_ACTIVE, "ws", None)
+    if ws is not None:
+        ws.begin()
+    _ACTIVE.ws = ws
+    try:
+        yield ws
+    finally:
+        _ACTIVE.ws = prev
+
+
+def ws_empty(shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """An uninitialized array from the active arena, else a fresh one."""
+    ws = getattr(_ACTIVE, "ws", None)
+    if ws is None:
+        return np.empty(shape, dtype=np.dtype(dtype))
+    return ws.take(shape, dtype)

@@ -29,7 +29,7 @@ batcher's batch-formation window).
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.obs import get_metrics
 from repro.serve.session import DesignSession
@@ -88,16 +88,26 @@ class RequestDispatcher:
                  deadline_s: float = 30.0,
                  model_info: Optional[Dict[str, Any]] = None,
                  batcher=None,
-                 fault_injection: bool = False) -> None:
+                 fault_injection: bool = False,
+                 session_ttl_s: Optional[float] = None,
+                 on_evict: Optional[Callable[[str], None]] = None) -> None:
         import threading
 
-        self.sessions = dict(sessions)
+        # The dict is *aliased*, not copied: DELETE /designs/<id> and the
+        # idle-TTL sweep must be visible to the owner's view of the
+        # sessions (the fleet worker reads the same dict for describe()).
+        self.sessions = sessions
         self.deadline_s = deadline_s
         self.model_info = model_info or {}
         self.batcher = batcher
         self.fault_injection = fault_injection
+        #: Evict sessions idle longer than this many seconds (None = off).
+        self.session_ttl_s = session_ttl_s
+        #: Called with the design name after any eviction (DELETE or TTL).
+        self.on_evict = on_evict
         self.started_at = time.time()
         self._slots = threading.Semaphore(max_concurrent)
+        self._evict_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str,
@@ -108,6 +118,7 @@ class RequestDispatcher:
         if isinstance(body, dict) and "deadline_s" in body:
             budget = min(budget, float(body["deadline_s"]))
         deadline = Deadline(budget)
+        self._sweep_idle()
         if not self._slots.acquire(timeout=max(deadline.remaining, 0.0)):
             get_metrics().counter("serve.rejected.overload").inc()
             raise ApiError(503, "overloaded",
@@ -127,6 +138,8 @@ class RequestDispatcher:
                 return self._predict(body or {}, deadline)
             if route == ("POST", "/whatif"):
                 return self._whatif(body or {}, deadline)
+            if method == "DELETE" and path.startswith("/designs/"):
+                return self._delete(path[len("/designs/"):], deadline)
             raise ApiError(404, "no_such_route",
                            f"no route {method} {path}")
         finally:
@@ -206,6 +219,57 @@ class RequestDispatcher:
             "predictions": {str(p): float(v)
                             for p, v in predictions.items()},
         }
+
+    def _delete(self, design: str, deadline: Deadline) -> Dict[str, Any]:
+        """Evict one design: release its session's caches and arenas.
+
+        The close happens *before* the pop so a concurrent request that
+        already holds the session object either finishes first (close
+        waits on the session lock) or sees the 404 on its next lookup.
+        """
+        with self._evict_lock:
+            session = self.sessions.get(design)
+            if session is None:
+                raise unknown_design_error(design, self.sessions)
+            try:
+                session.close(deadline_s=deadline.remaining)
+            except TimeoutError as exc:
+                # Session still busy: leave it served, let the client retry.
+                raise ApiError(504, "deadline_exceeded", str(exc)) from exc
+            self.sessions.pop(design, None)
+        get_metrics().counter("serve.sessions_deleted").inc()
+        if self.on_evict is not None:
+            self.on_evict(design)
+        return {
+            "design": design,
+            "deleted": True,
+            "revision": session.revision,
+            "whatifs_served": session.whatifs_served,
+        }
+
+    def _sweep_idle(self) -> None:
+        """Evict sessions idle past ``session_ttl_s`` (cheap, non-blocking)."""
+        ttl = self.session_ttl_s
+        if ttl is None:
+            return
+        now = time.monotonic()
+        with self._evict_lock:
+            evicted = []
+            for design in list(self.sessions):
+                session = self.sessions[design]
+                if now - session.last_used <= ttl:
+                    continue
+                try:
+                    session.close(deadline_s=0.0)
+                except TimeoutError:
+                    continue  # busy right now — not idle after all
+                self.sessions.pop(design, None)
+                evicted.append(design)
+        for design in evicted:
+            get_metrics().counter("serve.sessions_evicted_idle").inc()
+            logger.info("evicted idle design %r (ttl %.3gs)", design, ttl)
+            if self.on_evict is not None:
+                self.on_evict(design)
 
     def _whatif(self, body: Dict[str, Any],
                 deadline: Deadline) -> Dict[str, Any]:

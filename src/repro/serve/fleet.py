@@ -77,6 +77,9 @@ class FleetConfig:
     trace_dir: Optional[str] = None  # per-worker span files land here
     tracing: bool = False
     start_timeout_s: float = 120.0   # worker boot + session open budget
+    precision: str = "fp64"          # inference tier: fp64 | fp32 | int8
+    plan_cache_dir: Optional[str] = None  # persistent packed-plan cache
+    session_ttl_s: Optional[float] = None  # idle-session eviction TTL
 
 
 @dataclass
@@ -219,6 +222,9 @@ class TimingFleet:
             "microbatch_wait_ms": self.config.microbatch_wait_ms,
             "deadline_s": self.config.deadline_s,
             "fault_injection": self.config.fault_injection,
+            "precision": self.config.precision,
+            "plan_cache_dir": self.config.plan_cache_dir,
+            "session_ttl_s": self.config.session_ttl_s,
         }
         process = self._ctx.Process(
             target=worker_main,
@@ -383,8 +389,24 @@ class TimingFleet:
         elif kind == "ready":
             _, design, _info = msg
             worker.ready.add(design)
+        elif kind == "evicted":
+            # Pipe ordering guarantees this lands before the DELETE's own
+            # ("response", ...), so routing is updated by the time the
+            # gateway answers — a follow-up request for the design gets
+            # the same 404 the in-process dispatcher would produce.
+            self._forget_design(msg[1])
         elif kind == "drained":
             worker.drained = True
+
+    def _forget_design(self, design: str) -> None:
+        """Drop all routing state for an evicted design (idempotent)."""
+        self.routing.pop(design, None)
+        self.flows.pop(design, None)
+        self.journal.pop(design, None)
+        self.seeds.pop(design, None)
+        for worker in self.workers:
+            worker.designs.discard(design)
+            worker.ready.discard(design)
 
     def _journal_commit(self, entry: _Proxied) -> None:
         design = entry.design

@@ -441,6 +441,15 @@ class TimingGateway:
                 exchange.worker_label = str(worker.id)
                 self.fleet.submit(design, method, path, body,
                                   exchange.respond, t_end=t_end)
+            elif method == "DELETE" and path.startswith("/designs/"):
+                design = path[len("/designs/"):]
+                exchange.t_end = (time.perf_counter()
+                                  + self.fleet.config.deadline_s
+                                  + _DEADLINE_GRACE_S)
+                worker = self.fleet.worker_for(design)
+                exchange.worker_label = str(worker.id)
+                self.fleet.submit(design, method, path, None,
+                                  exchange.respond, t_end=exchange.t_end)
             else:
                 raise ApiError(404, "no_such_route",
                                f"no route {method} {path}")

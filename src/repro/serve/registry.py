@@ -59,6 +59,7 @@ class PredictorRegistry:
             if isinstance(payload, dict) else "legacy",
             "variant": probe.model_config.variant,
             "map_bins": probe.model_config.map_bins,
+            "precision": probe.precision,
             "n_parameters": sum(p.data.size
                                 for p in probe.model.parameters()),
         }
@@ -80,6 +81,7 @@ class PredictorRegistry:
             "schema_version": ARTIFACT_SCHEMA_VERSION,
             "variant": predictor.model_config.variant,
             "map_bins": predictor.model_config.map_bins,
+            "precision": predictor.precision,
             "n_parameters": sum(p.data.size
                                 for p in predictor.model.parameters()),
         }

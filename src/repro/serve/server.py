@@ -11,6 +11,8 @@ A :class:`TimingServer` exposes the sessions over a
 ``POST /predict``     ``{"design", "endpoints"?}`` → batched predictions
 ``POST /whatif``      ``{"design", "edits": [...], "commit"?}`` →
                       edit → incremental re-featurize → re-predict
+``DELETE /designs/<id>``  evict the session: release its plan-cache
+                      entries and inference arenas
 ====================  ======================================================
 
 This class is the **transport** layer only — request routing, slot
@@ -66,6 +68,8 @@ class ServerConfig:
     deadline_s: float = 30.0  # per-request budget (queue wait included)
     microbatch: int = 8       # max designs coalesced per packed forward
     microbatch_wait_ms: float = 2.0  # batch-formation window
+    #: Evict sessions idle longer than this many seconds (None = never).
+    session_ttl_s: Optional[float] = None
 
 
 class TimingServer:
@@ -81,7 +85,8 @@ class TimingServer:
             max_concurrent=self.config.max_workers,
             deadline_s=self.config.deadline_s,
             model_info=model_info,
-            batcher=batcher)
+            batcher=batcher,
+            session_ttl_s=self.config.session_ttl_s)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -181,6 +186,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
         self._dispatch("GET", body=None)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (stdlib API)
+        self._dispatch("DELETE", body=None)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         try:

@@ -34,6 +34,7 @@ from repro.core.masking import build_endpoint_paths
 from repro.core.predictor import TimingPredictor
 from repro.flow import FlowConfig, FlowResult, run_flow
 from repro.ml.dataset import build_sample
+from repro.ml.plancache import PLAN_CACHE
 from repro.ml.sample import DesignSample
 from repro.obs import get_metrics, get_tracer
 from repro.serve.featurize import IncrementalFeaturizer
@@ -122,9 +123,15 @@ class DesignSession:
                 "predictor must be fitted (or loaded) before serving")
         self.name = flow.name
         self.predictor = predictor
+        # With no external infer callable the session is the predictor's
+        # only user, so closing the session may release the predictor's
+        # inference arena too (shared predictors keep theirs).
+        self._owns_model = infer is None
         self._infer = _normalize_infer(
             infer if infer is not None else predictor.predict_array)
         self.seed = seed
+        self.last_used = time.monotonic()
+        self._closed = False
         self.netlist = flow.input_netlist
         self.placement = flow.input_placement
         self.clock_period = flow.clock_period
@@ -178,6 +185,7 @@ class DesignSession:
         *deadline_s* bounds the whole call — lock wait, micro-batch
         wait, and the forward pass; :class:`TimeoutError` on expiry.
         """
+        self.last_used = time.monotonic()
         t_end = (None if deadline_s is None
                  else time.perf_counter() + deadline_s)
         with self._locked(t_end):
@@ -208,6 +216,7 @@ class DesignSession:
         edits = [e if isinstance(e, Edit) else Edit.from_dict(e)
                  for e in edits]
         require(len(edits) > 0, "whatif needs at least one edit")
+        self.last_used = time.monotonic()
         t_end = (None if deadline_s is None
                  else time.perf_counter() + deadline_s)
         with self._locked(t_end):
@@ -257,12 +266,42 @@ class DesignSession:
         """Apply edits permanently; returns the inverse edit list."""
         edits = [e if isinstance(e, Edit) else Edit.from_dict(e)
                  for e in edits]
+        self.last_used = time.monotonic()
         with self._lock:
             inverse = self._apply(edits)
             self._refresh()
             self.revision += 1
             self._baseline = None
         return inverse
+
+    def close(self, deadline_s: Optional[float] = None) -> None:
+        """Release everything the session pinned (idempotent).
+
+        Frees the merged-plan cache entries keyed by this design's
+        sample, the cached baseline predictions, and — when the session
+        owns its predictor — the predictor's inference buffer arena, so
+        a deleted/evicted design's memory actually returns to the OS
+        instead of living on in process-wide caches (the leak this
+        method exists to close).
+
+        *deadline_s* bounds the wait for the session lock; ``0.0`` makes
+        the close non-blocking (the idle-TTL sweep uses that so a busy
+        session is never evicted mid-request).
+        """
+        t_end = (None if deadline_s is None
+                 else time.perf_counter() + deadline_s)
+        with self._locked(t_end):
+            if self._closed:
+                return
+            self._closed = True
+            released = PLAN_CACHE.release(self.sample)
+            self._baseline = None
+            if self._owns_model:
+                self.predictor.release_workspace()
+                self.predictor.model.drain_caches()
+        get_metrics().counter("serve.sessions_closed").inc()
+        logger.info("session %s: closed (%d plan-cache entries released)",
+                    self.name, released)
 
     def describe(self) -> Dict[str, Any]:
         """Summary for the ``/designs`` endpoint."""

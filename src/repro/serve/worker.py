@@ -34,6 +34,9 @@ parent → worker                       worker → parent
 ``("drain",)``                        ``("drained",)`` after in-flight
                                       requests finish; then exit
 ``("stop",)``                         (exit immediately)
+(unsolicited)                         ``("evicted", design)`` after a
+                                      DELETE or idle-TTL eviction — the
+                                      fleet drops its routing entry
 ====================================  =================================
 """
 
@@ -56,6 +59,7 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
     """Process entry point (importable top-level for any start method)."""
     # Local imports keep module import light for the parent process.
     from repro.core.predictor import TimingPredictor
+    from repro.ml.plancache import configure_plan_cache
     from repro.serve.batcher import MicroBatcher
     from repro.serve.dispatch import RequestDispatcher
     from repro.serve.session import DesignSession, Edit
@@ -86,6 +90,11 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
     shm, payload = attach_artifact(shm_meta)
     predictor = TimingPredictor.from_artifact(payload, source="<shm>",
                                               share_state=True)
+    precision = str(config.get("precision") or "fp64")
+    if precision != predictor.precision:
+        predictor.set_precision(precision)
+    if config.get("plan_cache_dir"):
+        configure_plan_cache(config["plan_cache_dir"])
     microbatch = int(config.get("microbatch", 8))
     threads = int(config.get("threads", 4))
     batcher = None
@@ -100,7 +109,11 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
         max_concurrent=threads,
         deadline_s=float(config.get("deadline_s", 30.0)),
         batcher=batcher,
-        fault_injection=bool(config.get("fault_injection", False)))
+        fault_injection=bool(config.get("fault_injection", False)),
+        session_ttl_s=config.get("session_ttl_s"),
+        # ``send`` is defined below; the closure resolves it at call time
+        # (evictions only happen while requests are being served).
+        on_evict=lambda design: send(("evicted", design)))
 
     pool = ThreadPoolExecutor(max_workers=threads,
                               thread_name_prefix=f"repro-w{worker_id}")
@@ -135,11 +148,11 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
             session = DesignSession(flow, predictor, seed=seed,
                                     infer=batcher.submit)
         else:
-            session = DesignSession(
-                flow,
-                TimingPredictor.from_artifact(payload, source="<shm>",
-                                              share_state=True),
-                seed=seed)
+            own = TimingPredictor.from_artifact(payload, source="<shm>",
+                                                share_state=True)
+            if precision != own.precision:
+                own.set_precision(precision)
+            session = DesignSession(flow, own, seed=seed)
         for batch in replay or []:
             session.apply([Edit.from_dict(e) for e in batch])
         # Publish only once fully materialized (journal replayed).

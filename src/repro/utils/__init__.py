@@ -1,13 +1,20 @@
 """Shared utilities: seeded RNG helpers, stopwatches, logging, validation."""
 
-from repro.utils.atomic import atomic_pickle_dump, load_pickle_or_none
+from repro.utils.atomic import (
+    atomic_json_dump,
+    atomic_pickle_dump,
+    load_json_or_none,
+    load_pickle_or_none,
+)
 from repro.utils.rng import seed_from_name, spawn_rng
 from repro.utils.timer import Stopwatch, StageTimer
 from repro.utils.log import configure_logging, get_logger
 from repro.utils.validation import require, require_positive
 
 __all__ = [
+    "atomic_json_dump",
     "atomic_pickle_dump",
+    "load_json_or_none",
     "load_pickle_or_none",
     "seed_from_name",
     "spawn_rng",

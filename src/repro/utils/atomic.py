@@ -1,4 +1,4 @@
-"""Atomic, crash-tolerant pickle persistence for on-disk caches.
+"""Atomic, crash-tolerant pickle/JSON persistence for on-disk caches.
 
 Two invariants for every cache file written through this module:
 
@@ -17,6 +17,7 @@ Two invariants for every cache file written through this module:
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import pickle
@@ -65,6 +66,51 @@ def load_pickle_or_none(path: PathLike,
     except FileNotFoundError:
         return None
     except Exception as exc:  # truncated pickle, EOFError, version skew, ...
+        if logger is not None:
+            logger.warning("discarding corrupt cache file %s (%s: %s)",
+                           path, type(exc).__name__, exc)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+
+def atomic_json_dump(obj: Any, path: PathLike, indent: int = 2,
+                     sort_keys: bool = True) -> None:
+    """JSON counterpart of :func:`atomic_pickle_dump` (same guarantees)."""
+    path = str(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + f".{os.getpid()}.",
+        suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, indent=indent, sort_keys=sort_keys)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_json_or_none(path: PathLike,
+                      logger: Optional[logging.Logger] = None) -> Any:
+    """JSON counterpart of :func:`load_pickle_or_none`.
+
+    A corrupt/truncated/undecodable file is logged as a warning and
+    unlinked so the next write starts from a clean slate.
+    """
+    path = str(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:  # truncated write, bad encoding, ...
         if logger is not None:
             logger.warning("discarding corrupt cache file %s (%s: %s)",
                            path, type(exc).__name__, exc)

@@ -1,0 +1,189 @@
+"""PackPlanCache: LRU behavior, release-on-teardown, disk layer."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.ml.batch import PackedBatch
+from repro.ml.plancache import (
+    PLAN_CACHE,
+    PackPlanCache,
+    topology_fingerprint,
+)
+
+
+def _fake_sample(n_nodes: int = 8, seed: int = 0) -> SimpleNamespace:
+    """A stub with exactly the topology attrs the cache reads."""
+    rng = np.random.default_rng(seed)
+    plan = SimpleNamespace(
+        net_nodes=rng.integers(0, n_nodes, 4),
+        net_drivers=rng.integers(0, n_nodes, 4),
+        cell_nodes=rng.integers(0, n_nodes, 4),
+        cell_preds=rng.integers(0, n_nodes, (4, 2)))
+    return SimpleNamespace(
+        n_nodes=n_nodes,
+        level=rng.integers(0, 3, n_nodes),
+        source_nodes=rng.integers(0, n_nodes, 2),
+        endpoint_nodes=rng.integers(0, n_nodes, 3),
+        endpoint_pins=rng.integers(0, 99, 3),
+        plans=[plan])
+
+
+def test_memo_hit_returns_same_topology_object():
+    cache = PackPlanCache(capacity=4)
+    s = _fake_sample()
+    builds = []
+
+    def build(samples):
+        builds.append(len(samples))
+        return {"n": len(samples)}
+
+    t1 = cache.topology([s], build)
+    t2 = cache.topology([s], build)
+    assert t1 is t2
+    assert builds == [1]
+    assert cache.describe()["hits"] == 1
+
+
+def test_lru_keeps_the_hot_key():
+    cache = PackPlanCache(capacity=2)
+    a, b, c = _fake_sample(seed=1), _fake_sample(seed=2), _fake_sample(seed=3)
+    build = lambda samples: {"id": id(samples[0].plans)}  # noqa: E731
+
+    ta = cache.topology([a], build)
+    cache.topology([b], build)
+    cache.topology([a], build)      # touch a: now the hot key
+    cache.topology([c], build)      # evicts b (LRU), not a
+    assert cache.topology([a], build) is ta
+    assert cache.describe()["entries"] == 2
+    tb2 = cache.topology([b], build)
+    assert tb2 is not ta  # b was rebuilt after eviction
+
+
+def test_release_makes_dropped_sample_arrays_collectable():
+    """Regression for the pre-PR leak: the merge memo kept strong refs
+    to every pack's plans forever, so a closed session's topology never
+    became collectable."""
+    cache = PackPlanCache(capacity=8)
+    arr = np.arange(4096, dtype=np.float64)
+    sample = SimpleNamespace(plans=[arr])
+    ref = weakref.ref(arr)
+    cache.topology([sample], lambda ss: {"ok": True})
+    del arr
+    gc.collect()
+    assert ref() is not None, "cache entry must pin the keyed plans"
+
+    released = cache.release(sample)
+    assert released == 1
+    del sample
+    gc.collect()
+    assert ref() is None, (
+        "released sample's plan arrays must become collectable")
+
+
+def test_without_release_the_entry_pins_until_clear():
+    cache = PackPlanCache(capacity=8)
+    arr = np.arange(128, dtype=np.float64)
+    sample = SimpleNamespace(plans=[arr])
+    ref = weakref.ref(arr)
+    cache.topology([sample], lambda ss: {})
+    del arr, sample
+    gc.collect()
+    assert ref() is not None  # entry still pins the plans list
+    cache.clear()
+    gc.collect()
+    assert ref() is None
+
+
+def test_release_drops_multi_sample_packs_too():
+    cache = PackPlanCache(capacity=8)
+    a, b = _fake_sample(seed=4), _fake_sample(seed=5)
+    build = lambda samples: {"n": len(samples)}  # noqa: E731
+    cache.topology([a], build)
+    cache.topology([a, b], build)
+    cache.topology([b], build)
+    assert cache.release(a) == 2      # [a] and [a, b]
+    assert cache.describe()["entries"] == 1
+
+
+def test_fingerprint_is_content_based_and_memoized():
+    a1, a2 = _fake_sample(seed=7), _fake_sample(seed=7)
+    b = _fake_sample(seed=8)
+    assert topology_fingerprint(a1) == topology_fingerprint(a2)
+    assert topology_fingerprint(a1) != topology_fingerprint(b)
+    assert a1._topo_fingerprint == topology_fingerprint(a1)
+
+
+def test_disk_layer_warm_starts_a_fresh_cache(tmp_path):
+    a, b = _fake_sample(seed=10), _fake_sample(seed=11)
+    payload = {"merged": np.arange(5)}
+    first = PackPlanCache(capacity=4, cache_dir=tmp_path)
+    built = []
+
+    def build(samples):
+        built.append(1)
+        return payload
+
+    first.topology([a, b], build)
+    assert built == [1]
+    assert list(tmp_path.glob("plan_*.pkl"))
+
+    # Same content, different process in spirit: new cache, new stubs.
+    a2, b2 = _fake_sample(seed=10), _fake_sample(seed=11)
+    second = PackPlanCache(capacity=4, cache_dir=tmp_path)
+
+    def must_not_build(samples):  # pragma: no cover - failure path
+        raise AssertionError("disk hit expected, build() called")
+
+    topo = second.topology([a2, b2], must_not_build)
+    np.testing.assert_array_equal(topo["merged"], payload["merged"])
+    assert second.describe()["disk_hits"] == 1
+
+
+def test_pack_of_one_skips_the_disk_layer(tmp_path):
+    cache = PackPlanCache(capacity=4, cache_dir=tmp_path)
+    cache.topology([_fake_sample(seed=12)], lambda ss: {})
+    assert not list(tmp_path.glob("plan_*.pkl"))
+
+
+def test_corrupt_disk_entry_degrades_to_rebuild(tmp_path):
+    a, b = _fake_sample(seed=13), _fake_sample(seed=14)
+    cache = PackPlanCache(capacity=4, cache_dir=tmp_path)
+    cache.topology([a, b], lambda ss: {"v": 1})
+    path = next(tmp_path.glob("plan_*.pkl"))
+    path.write_bytes(b"not a pickle")
+
+    fresh = PackPlanCache(capacity=4, cache_dir=tmp_path)
+    rebuilt = []
+    topo = fresh.topology([_fake_sample(seed=13), _fake_sample(seed=14)],
+                          lambda ss: rebuilt.append(1) or {"v": 2})
+    assert rebuilt == [1]
+    assert topo == {"v": 2}
+    # The corrupt file was replaced by a good copy on the rebuild.
+    reloaded = PackPlanCache(capacity=4, cache_dir=tmp_path)
+    assert reloaded.topology(
+        [_fake_sample(seed=13), _fake_sample(seed=14)],
+        lambda ss: pytest.fail("expected a disk hit")) == {"v": 2}
+
+
+def test_packed_batch_pack_goes_through_the_global_cache(tiny_samples):
+    PLAN_CACHE.clear()
+    before = PLAN_CACHE.describe()
+    b1 = PackedBatch.pack(tiny_samples)
+    b2 = PackedBatch.pack(tiny_samples)
+    after = PLAN_CACHE.describe()
+    assert after["hits"] == before["hits"] + 1
+    # Topology arrays are shared between repeat packs (the whole point)…
+    assert b1.node_offsets is b2.node_offsets
+    assert b1.plans is b2.plans
+    # …while feature arrays are re-gathered per pack (what-if edits
+    # mutate features in place and must stay visible).
+    assert b1.x_cell is not b2.x_cell
+    np.testing.assert_array_equal(b1.x_cell, b2.x_cell)
+    for s in tiny_samples:
+        PLAN_CACHE.release(s)

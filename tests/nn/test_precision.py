@@ -1,0 +1,252 @@
+"""Precision tiers: dtype propagation, fp64 bit-identity, quantization.
+
+The contracts under test (DESIGN.md "Precision & memory tiers"):
+
+* fp64 is the default and stays **bit-identical** whether or not the
+  buffer arena is active, and across a set-precision round trip;
+* fp32 mode never silently upcasts — every intermediate and output of
+  the GNN/CNN/fusion inference path is float32;
+* int8 weight quantization round-trips through the artifact format
+  verbatim (no requantization drift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.ml.batch import PackedBatch
+from repro.nn import (
+    Linear,
+    PRECISIONS,
+    Workspace,
+    dequantize,
+    inference_mode,
+    quantize_per_channel,
+    workspace,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_samples):
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=32),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit(tiny_samples)
+    return predictor
+
+
+# ----------------------------------------------------------------------
+# Quantization scheme
+# ----------------------------------------------------------------------
+def test_quantize_per_channel_round_trip(rng):
+    w = rng.normal(size=(6, 9))
+    q = quantize_per_channel(w)
+    assert q["q"].dtype == np.int8 and q["q"].shape == w.shape
+    assert q["scale"].shape == (6,)
+    back = dequantize(q["q"], q["scale"])
+    # Per-channel symmetric int8: worst-case error is half a step.
+    step = np.abs(w).max(axis=1) / 127.0
+    assert np.all(np.abs(back - w) <= step[:, None] * 0.5 + 1e-12)
+
+
+def test_quantize_zero_row_is_safe():
+    w = np.zeros((2, 4))
+    w[1] = [1.0, -2.0, 0.5, 0.25]
+    q = quantize_per_channel(w)
+    assert np.all(q["q"][0] == 0)
+    np.testing.assert_array_equal(dequantize(q["q"], q["scale"])[0],
+                                  np.zeros(4))
+
+
+def test_requantization_is_install_verbatim(rng):
+    """Artifact reload must not drift: install stored q/scale, not
+    requantize the dequantized weights."""
+    layer = Linear(5, 3, rng=rng)
+    layer.set_inference_precision("int8")
+    q1 = {k: np.array(v) for k, v in layer._quant.items()
+          if k in ("q", "scale")}
+    layer._install_quant(q1["q"], q1["scale"])
+    np.testing.assert_array_equal(layer._quant["q"], q1["q"])
+    np.testing.assert_array_equal(layer._quant["scale"], q1["scale"])
+
+
+# ----------------------------------------------------------------------
+# Module-tree precision switching
+# ----------------------------------------------------------------------
+def test_precision_walks_the_module_tree(fitted):
+    model = fitted.model
+    assert model.precision == "fp64"
+    model.set_inference_precision("fp32")
+    for module in model.modules():
+        assert module.precision == "fp32"
+    model.set_inference_precision("fp64")
+    for module in model.modules():
+        assert module.precision == "fp64"
+
+
+def test_unknown_precision_rejected(fitted):
+    with pytest.raises(ValueError):
+        fitted.model.set_inference_precision("fp16")
+    assert "fp16" not in PRECISIONS
+
+
+def test_training_requires_fp64(fitted, tiny_samples):
+    fitted.model.set_inference_precision("fp32")
+    try:
+        with pytest.raises(ValueError, match="fp64"):
+            fitted.model.forward_batch(PackedBatch.pack(tiny_samples),
+                                       training=True)
+    finally:
+        fitted.model.set_inference_precision("fp64")
+        fitted.model.drain_caches()
+
+
+# ----------------------------------------------------------------------
+# dtype propagation (property test over the inference forwards)
+# ----------------------------------------------------------------------
+def _forward_dtypes(model, batch):
+    """Run the packed inference forward recording every module output
+    dtype (wrapping forward methods, no model changes)."""
+    dtypes = []
+    wrapped = []
+    for module in model.modules():
+        fwd = module.__dict__.get("forward", None)
+        orig = module.forward
+
+        def make(orig):
+            def spy(*args, **kwargs):
+                out = orig(*args, **kwargs)
+                if isinstance(out, np.ndarray):
+                    dtypes.append(out.dtype)
+                return out
+            return spy
+
+        module.forward = make(orig)
+        wrapped.append((module, fwd, orig))
+    try:
+        pred = model.forward_batch(batch, training=False)
+    finally:
+        for module, had, orig in wrapped:
+            if had is None:
+                module.__dict__.pop("forward", None)
+            else:
+                module.__dict__["forward"] = had
+    model.drain_caches()
+    return pred, dtypes
+
+
+def test_fp32_never_upcasts(fitted, tiny_samples):
+    batch = PackedBatch.pack(tiny_samples)
+    fitted.model.set_inference_precision("fp32")
+    try:
+        pred, dtypes = _forward_dtypes(fitted.model, batch)
+    finally:
+        fitted.model.set_inference_precision("fp64")
+    assert pred.dtype == np.float32
+    assert dtypes, "spy saw no module outputs"
+    assert all(dt == np.float32 for dt in dtypes), (
+        f"fp32 inference silently upcast: {sorted(set(map(str, dtypes)))}")
+
+
+def test_fp64_intermediates_are_fp64(fitted, tiny_samples):
+    batch = PackedBatch.pack(tiny_samples)
+    pred, dtypes = _forward_dtypes(fitted.model, batch)
+    assert pred.dtype == np.float64
+    assert all(dt == np.float64 for dt in dtypes)
+
+
+def test_fp32_predictions_end_to_end(fitted, tiny_samples):
+    ref = [np.array(a)
+           for a in fitted.predict_batch_arrays(tiny_samples)]
+    fitted.set_precision("fp32")
+    try:
+        out = fitted.predict_batch_arrays(tiny_samples)
+        for a, b in zip(ref, out):
+            assert np.asarray(b).dtype == np.float32
+            np.testing.assert_allclose(np.asarray(b, dtype=np.float64),
+                                       a, rtol=1e-4, atol=5e-2)
+    finally:
+        fitted.set_precision("fp64")
+
+
+# ----------------------------------------------------------------------
+# fp64 bit-identity invariants
+# ----------------------------------------------------------------------
+def test_fp64_identical_with_and_without_workspace(fitted, tiny_samples):
+    fitted.use_workspace = False
+    try:
+        plain = [np.array(a)
+                 for a in fitted.predict_batch_arrays(tiny_samples)]
+    finally:
+        fitted.use_workspace = True
+    arena = fitted.predict_batch_arrays(tiny_samples)
+    for a, b in zip(plain, arena):
+        np.testing.assert_array_equal(np.asarray(b), a)
+
+
+def test_fp64_identical_after_precision_round_trip(fitted, tiny_samples):
+    ref = [np.array(a)
+           for a in fitted.predict_batch_arrays(tiny_samples)]
+    for mode in ("fp32", "int8", "fp64"):
+        fitted.set_precision(mode)
+    out = fitted.predict_batch_arrays(tiny_samples)
+    for a, b in zip(ref, out):
+        np.testing.assert_array_equal(np.asarray(b), a)
+
+
+def test_workspace_reuse_across_forwards_stays_correct(fitted,
+                                                       tiny_samples):
+    """Repeat warm forwards must not read stale arena contents."""
+    first = [np.array(a)
+             for a in fitted.predict_batch_arrays(tiny_samples)]
+    for _ in range(3):
+        again = fitted.predict_batch_arrays(tiny_samples)
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(np.asarray(b), a)
+
+
+def test_inference_mode_with_explicit_workspace(fitted, tiny_samples):
+    """Direct model forwards under a caller-provided arena match the
+    predictor path (same math, different buffer owner)."""
+    batch = PackedBatch.pack(tiny_samples)
+    with inference_mode():
+        ref = np.array(fitted.model.forward_batch(batch, training=False))
+        fitted.model.drain_caches()
+    ws = Workspace()
+    with inference_mode(), workspace(ws):
+        out = fitted.model.forward_batch(batch, training=False)
+        fitted.model.drain_caches()
+        np.testing.assert_array_equal(np.asarray(out), ref)
+
+
+# ----------------------------------------------------------------------
+# Artifact round trip (schema v3)
+# ----------------------------------------------------------------------
+def test_int8_artifact_round_trip(fitted, tiny_samples):
+    fitted.set_precision("int8")
+    try:
+        ref = [np.array(a)
+               for a in fitted.predict_batch_arrays(tiny_samples)]
+        payload = fitted.to_artifact()
+        assert payload["schema_version"] == 3
+        assert payload["precision"] == "int8"
+        assert any(isinstance(e, dict) for e in payload["state"])
+        clone = TimingPredictor.from_artifact(payload)
+        assert clone.precision == "int8"
+        out = clone.predict_batch_arrays(tiny_samples)
+        for a, b in zip(ref, out):
+            np.testing.assert_array_equal(np.asarray(b), a)
+    finally:
+        fitted.set_precision("fp64")
+
+
+def test_fp64_artifact_round_trip_unchanged(fitted, tiny_samples):
+    ref = [np.array(a)
+           for a in fitted.predict_batch_arrays(tiny_samples)]
+    clone = TimingPredictor.from_artifact(fitted.to_artifact())
+    assert clone.precision == "fp64"
+    out = clone.predict_batch_arrays(tiny_samples)
+    for a, b in zip(ref, out):
+        np.testing.assert_array_equal(np.asarray(b), a)

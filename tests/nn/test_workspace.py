@@ -1,0 +1,111 @@
+"""Workspace arena semantics: borrow/rewind/trim and thread-locality."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.nn import Workspace, current_workspace, workspace, ws_empty
+
+
+def test_ws_empty_without_active_workspace_allocates_fresh():
+    a = ws_empty((3, 4))
+    b = ws_empty((3, 4))
+    assert a is not b
+    assert a.shape == (3, 4) and a.dtype == np.float64
+
+
+def test_same_shape_takes_are_distinct_within_one_epoch():
+    ws = Workspace()
+    with workspace(ws):
+        a = ws_empty((8,))
+        b = ws_empty((8,))
+        assert a is not b
+
+
+def test_buffers_reused_in_order_across_epochs():
+    ws = Workspace()
+    with workspace(ws):
+        a1 = ws_empty((8,), np.float32)
+        b1 = ws_empty((8,), np.float32)
+    with workspace(ws):
+        assert ws_empty((8,), np.float32) is a1
+        assert ws_empty((8,), np.float32) is b1
+        # Third take in a later epoch grows the pool rather than aliasing.
+        c = ws_empty((8,), np.float32)
+        assert c is not a1 and c is not b1
+
+
+def test_shape_and_dtype_key_pools_independently():
+    ws = Workspace()
+    with workspace(ws):
+        a = ws_empty((4,), np.float64)
+        b = ws_empty((4,), np.float32)
+        c = ws_empty((2, 2), np.float64)
+    assert a.dtype == np.float64 and b.dtype == np.float32
+    assert a is not c
+    assert ws.describe()["buffers"] == 3
+
+
+def test_begin_trims_pools_over_the_byte_cap():
+    ws = Workspace(max_bytes=64)
+    with workspace(ws):
+        ws_empty((1024,))
+    assert ws.nbytes > 64
+    with workspace(ws):  # begin() sees the overflow and releases
+        pass
+    assert ws.nbytes == 0
+    assert ws.describe()["trims"] == 1
+
+
+def test_release_drops_everything():
+    ws = Workspace()
+    with workspace(ws):
+        ws_empty((16, 16))
+    assert ws.nbytes > 0
+    ws.release()
+    assert ws.nbytes == 0
+    assert ws.describe()["buffers"] == 0
+
+
+def test_nested_activation_restores_previous():
+    outer, inner = Workspace(), Workspace()
+    assert current_workspace() is None
+    with workspace(outer):
+        assert current_workspace() is outer
+        with workspace(inner):
+            assert current_workspace() is inner
+        assert current_workspace() is outer
+    assert current_workspace() is None
+
+
+def test_workspace_none_is_a_no_op_activation():
+    with workspace(None):
+        a = ws_empty((5,))
+        b = ws_empty((5,))
+    assert a is not b
+
+
+def test_active_workspace_is_thread_local():
+    ws = Workspace()
+    seen = {}
+
+    def other_thread():
+        seen["ws"] = current_workspace()
+
+    with workspace(ws):
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+    assert seen["ws"] is None
+
+
+def test_hit_miss_accounting():
+    ws = Workspace()
+    with workspace(ws):
+        ws_empty((8,))
+    with workspace(ws):
+        ws_empty((8,))
+    stats = ws.describe()
+    assert stats["misses"] == 1 and stats["hits"] == 1

@@ -1,0 +1,108 @@
+"""Atomic persistence helpers and the benchmark emitter built on them."""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.utils import (
+    atomic_json_dump,
+    atomic_pickle_dump,
+    load_json_or_none,
+    load_pickle_or_none,
+)
+
+
+def test_json_round_trip(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_json_dump({"b": 2, "a": [1, 2.5, None]}, path)
+    assert load_json_or_none(path) == {"a": [1, 2.5, None], "b": 2}
+    # Deterministic serialization: sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_json_missing_file_is_none(tmp_path):
+    assert load_json_or_none(tmp_path / "absent.json") is None
+
+
+def test_json_corrupt_file_warns_and_unlinks(tmp_path, caplog):
+    path = tmp_path / "bad.json"
+    path.write_text("{ truncated")
+    logger = logging.getLogger("test.atomic")
+    with caplog.at_level(logging.WARNING, logger="test.atomic"):
+        assert load_json_or_none(path, logger) is None
+    assert "discarding corrupt cache file" in caplog.text
+    assert not path.exists(), "corrupt file must be removed"
+
+
+def test_json_overwrite_replaces_not_merges(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_json_dump({"old": 1}, path)
+    atomic_json_dump({"new": 2}, path)
+    assert load_json_or_none(path) == {"new": 2}
+
+
+def test_json_failed_dump_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_json_dump({"ok": 1}, path)
+    with pytest.raises(TypeError):
+        atomic_json_dump({"bad": object()}, path)
+    assert load_json_or_none(path) == {"ok": 1}  # prior version intact
+    assert os.listdir(tmp_path) == ["out.json"]  # temp file cleaned up
+
+
+def test_pickle_corrupt_file_is_a_miss(tmp_path):
+    path = tmp_path / "bad.pkl"
+    atomic_pickle_dump([1, 2, 3], path)
+    assert load_pickle_or_none(path) == [1, 2, 3]
+    path.write_bytes(b"\x80not a pickle")
+    assert load_pickle_or_none(path) is None
+    assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# emit_bench: atomic artifact writes + corrupt-file recovery
+# ----------------------------------------------------------------------
+@pytest.fixture
+def bench_out(tmp_path, monkeypatch):
+    import benchmarks.conftest as bc
+
+    monkeypatch.setattr(bc, "BENCH_OUT", tmp_path)
+    return bc
+
+
+def test_emit_bench_writes_valid_json(bench_out):
+    path = bench_out.emit_bench("unit", {"speedup": 2.5})
+    data = json.loads(path.read_text())
+    assert data["bench"] == "unit"
+    assert data["speedup"] == 2.5
+    assert "history" not in data  # first write has no prior run
+
+
+def test_emit_bench_carries_history_forward(bench_out):
+    bench_out.emit_bench("unit", {"speedup": 1.0})
+    path = bench_out.emit_bench("unit", {"speedup": 2.0})
+    data = json.loads(path.read_text())
+    assert data["speedup"] == 2.0
+    assert [h["speedup"] for h in data["history"]] == [1.0]
+    # History is bounded: repeated runs never grow without limit.
+    for i in range(bench_out.BENCH_HISTORY + 3):
+        path = bench_out.emit_bench("unit", {"speedup": float(i)})
+    data = json.loads(path.read_text())
+    assert len(data["history"]) == bench_out.BENCH_HISTORY
+
+
+def test_emit_bench_overwrites_corrupt_artifact(bench_out, caplog):
+    path = bench_out.BENCH_OUT / "BENCH_unit.json"
+    path.write_text('{"speedup": 1.0, "trunc')
+    with caplog.at_level(logging.WARNING):
+        out = bench_out.emit_bench("unit", {"speedup": 3.0})
+    assert "discarding corrupt cache file" in caplog.text
+    data = json.loads(out.read_text())
+    assert data["speedup"] == 3.0
+    assert "history" not in data  # corrupt prior contributes nothing
