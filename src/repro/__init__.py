@@ -34,8 +34,11 @@ _EXPORTS = {
     # Timing
     "run_sta": "repro.timing",
     "IncrementalSTA": "repro.timing",
+    "Corner": "repro.timing",
+    "CornerSet": "repro.timing",
     # Serving
     "DesignSession": "repro.serve",
+    "SessionFactory": "repro.serve",
     "Edit": "repro.serve",
     "MicroBatcher": "repro.serve",
     "PredictorRegistry": "repro.serve",
@@ -94,6 +97,12 @@ if TYPE_CHECKING:  # let static analyzers resolve the façade eagerly
         MicroBatcher,
         PredictorRegistry,
         ServerConfig,
+        SessionFactory,
         TimingServer,
     )
-    from repro.timing import IncrementalSTA, run_sta  # noqa: F401
+    from repro.timing import (  # noqa: F401
+        Corner,
+        CornerSet,
+        IncrementalSTA,
+        run_sta,
+    )

@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shrink the preset designs (e.g. 0.25)")
     p_ds.add_argument("--jobs", type=int, default=None,
                       help="build designs in N parallel worker processes")
+    p_ds.add_argument("--corners", default=None,
+                      help="comma-separated sign-off corners (e.g. "
+                           "fast,typ,slow); each design contributes one "
+                           "sample per corner (default: base only)")
 
     p_tr = sub.add_parser("train", help="train and save a predictor")
     p_tr.add_argument("--variant", choices=("full", "gnn", "cnn"),
@@ -60,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(paper Section VI-A uses 1024)")
     p_tr.add_argument("--out", type=Path, default=Path("data/predictor.pkl"))
     p_tr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+    p_tr.add_argument("--corners", default=None,
+                      help="train a corner-conditioned model on these "
+                           "sign-off corners (e.g. fast,typ,slow); the "
+                           "model learns one embedding per corner")
 
     p_pr = sub.add_parser("predict", help="predict a design's endpoints")
     p_pr.add_argument("design")
@@ -67,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default=Path("data/predictor.pkl"))
     p_pr.add_argument("--top", type=int, default=10)
     p_pr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
+    p_pr.add_argument("--corners", default=None,
+                      help="predict at these sign-off corners in one "
+                           "packed forward (must be a subset of the "
+                           "model's corners)")
 
     p_srv = sub.add_parser(
         "serve",
@@ -116,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--session-ttl", type=float, default=None,
                        help="evict design sessions idle longer than "
                             "this many seconds (default: never)")
+    p_srv.add_argument("--corners", default=None,
+                       help="serve these sign-off corners (e.g. "
+                            "fast,typ,slow); one /whatif then answers "
+                            "every corner in a single packed forward")
 
     p_prof = sub.add_parser(
         "profile",
@@ -190,14 +206,18 @@ def cmd_dataset(args) -> int:
     from repro.ml import build_dataset_report
     from repro.netlist import DESIGN_PRESETS
 
+    from repro.timing import CornerSet
+
     designs = args.designs or sorted(DESIGN_PRESETS)
-    config = FlowConfig(base_seed=args.seed, scale=args.scale)
+    config = FlowConfig(base_seed=args.seed, scale=args.scale,
+                        corners=CornerSet.parse(args.corners).names)
     samples, report = build_dataset_report(
         designs, flow_config=config, cache_dir=args.cache, seed=args.seed,
         jobs=args.jobs)
     for s in samples:
         if s is not None:
-            print(f"{s.name:<10} endpoints {s.n_endpoints:>5}  "
+            label = s.name if s.corner == "base" else f"{s.name}@{s.corner}"
+            print(f"{label:<10} endpoints {s.n_endpoints:>5}  "
                   f"nodes {s.n_nodes:>7}  pre {s.preprocess_time:.2f}s")
     print()
     print(report.format())
@@ -209,30 +229,74 @@ def cmd_train(args) -> int:
     from repro.flow import FlowConfig
     from repro.ml import build_dataset
     from repro.netlist import TRAIN_DESIGNS
+    from repro.timing import CornerSet
 
-    train = build_dataset(list(TRAIN_DESIGNS), cache_dir=args.cache)
+    corner_names = CornerSet.parse(args.corners).names
+    train = build_dataset(list(TRAIN_DESIGNS),
+                          flow_config=FlowConfig(corners=corner_names),
+                          cache_dir=args.cache)
     for seed in range(1, args.augment + 1):
         train += build_dataset(list(TRAIN_DESIGNS),
-                               flow_config=FlowConfig(base_seed=seed),
+                               flow_config=FlowConfig(
+                                   base_seed=seed, corners=corner_names),
                                cache_dir=args.cache, seed=seed)
     predictor = TimingPredictor(
-        model_config=ModelConfig(variant=args.variant),
+        model_config=ModelConfig(variant=args.variant,
+                                 corner_names=corner_names),
         trainer_config=TrainerConfig(epochs=args.epochs,
                                      endpoint_batch=args.endpoint_batch))
     predictor.fit(train)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     predictor.save(args.out)
+    corner_note = (f", corners {','.join(corner_names)}"
+                   if len(corner_names) > 1 else "")
     print(f"trained {args.variant} on {len(train)} samples "
           f"({args.epochs} epochs, {args.endpoint_batch}-endpoint "
-          f"batches) -> {args.out}")
+          f"batches{corner_note}) -> {args.out}")
     return 0
 
 
 def cmd_predict(args) -> int:
+    import time as _time
+
     from repro.core import TimingPredictor
+    from repro.flow import FlowConfig
     from repro.ml import build_dataset
+    from repro.timing import CornerSet
 
     predictor = TimingPredictor.load(args.model)
+    corner_names = CornerSet.parse(args.corners).names
+    if len(corner_names) > 1:
+        model_corners = predictor.model_config.corner_names
+        unknown = [c for c in corner_names if c not in model_corners]
+        if unknown:
+            print(f"error: corner(s) {unknown} not in the model "
+                  f"(trained on: {list(model_corners)})", file=sys.stderr)
+            return 1
+        samples = build_dataset(
+            [args.design],
+            flow_config=FlowConfig(corners=corner_names),
+            cache_dir=args.cache)
+        # The dataset's corner indices follow the flow's corner order;
+        # remap to the model's embedding indices before the forward.
+        views = [s.corner_view(s.corner, model_corners.index(s.corner),
+                               y=s.y) for s in samples]
+        t0 = _time.perf_counter()
+        arrays = predictor.predict_batch_arrays(views)
+        ms = (_time.perf_counter() - t0) * 1e3
+        print(f"{args.design}: {samples[0].n_endpoints} endpoints x "
+              f"{len(corner_names)} corners, one packed forward "
+              f"{ms:.0f} ms")
+        for sample, pred in zip(samples, arrays):
+            by_pin = dict(zip((int(p) for p in sample.endpoint_pins),
+                              pred))
+            ranked = sorted(by_pin.items(), key=lambda kv: -kv[1])
+            ranked = ranked[:args.top]
+            print(f"\n[{sample.corner}] "
+                  f"{'endpoint pin':>12}  {'predicted arrival (ps)':>22}")
+            for pin, val in ranked:
+                print(f"{pin:>12}  {val:>22.1f}")
+        return 0
     sample = build_dataset([args.design], cache_dir=args.cache)[0]
     by_pin = predictor.predict(sample)
     print(f"{args.design}: {len(by_pin)} endpoints, inference "
@@ -256,19 +320,22 @@ def cmd_serve(args) -> int:
 
     from repro.core import ModelConfig, TimingPredictor, TrainerConfig
     from repro.flow import FlowConfig, run_flow
-    from repro.ml.dataset import build_sample
+    from repro.ml.dataset import build_corner_samples, build_sample
     from repro.serve import (
-        DesignSession,
         FleetConfig,
         MicroBatcher,
         PredictorRegistry,
         ServerConfig,
+        SessionFactory,
         TimingFleet,
         TimingGateway,
         TimingServer,
     )
+    from repro.timing import CornerSet
 
-    flow_config = FlowConfig(scale=args.scale, base_seed=args.seed)
+    corner_names = CornerSet.parse(args.corners).names
+    flow_config = FlowConfig(scale=args.scale, base_seed=args.seed,
+                             corners=corner_names)
     flows = {d: run_flow(d, flow_config) for d in args.designs}
 
     if args.plan_cache is not None:
@@ -279,18 +346,26 @@ def cmd_serve(args) -> int:
     registry = PredictorRegistry()
     if args.model.exists():
         registry.register("default", args.model)
-        map_bins = registry.describe("default")["map_bins"]
+        meta = registry.describe("default")
+        map_bins = meta["map_bins"]
+        model_corners = meta.get("corners", ["base"])
+        missing = [c for c in corner_names if c not in model_corners]
+        if missing:
+            print(f"error: corner(s) {missing} not in model "
+                  f"{args.model} (trained on: {model_corners})",
+                  file=sys.stderr)
+            return 1
     else:
         print(f"model {args.model} not found; bootstrapping a "
               f"{args.bootstrap_epochs}-epoch predictor on "
               f"{sorted(flows)}")
         predictor = TimingPredictor(
-            model_config=ModelConfig(),
+            model_config=ModelConfig(corner_names=corner_names),
             trainer_config=TrainerConfig(epochs=args.bootstrap_epochs))
         map_bins = predictor.model_config.map_bins
-        boot_samples = [build_sample(f, map_bins=map_bins,
-                                     seed=args.seed)
-                        for f in flows.values()]
+        boot_samples = [s for f in flows.values()
+                        for s in build_corner_samples(
+                            f, map_bins=map_bins, seed=args.seed)]
         predictor.fit(boot_samples)
         registry.register_predictor("default", predictor)
 
@@ -305,7 +380,8 @@ def cmd_serve(args) -> int:
                         precision=args.precision,
                         plan_cache_dir=(str(args.plan_cache)
                                         if args.plan_cache else None),
-                        session_ttl_s=args.session_ttl),
+                        session_ttl_s=args.session_ttl,
+                        corners=corner_names),
             seeds={d: args.seed for d in flows}).start()
         gateway = TimingGateway(
             fleet, host=args.host, port=args.port,
@@ -331,20 +407,18 @@ def cmd_serve(args) -> int:
         return predictor
 
     batcher = None
-    infer = None
     if args.microbatch > 1:
         # One shared predictor behind the batcher: only its worker
         # thread touches the model, so sessions need no private copies.
         batcher = MicroBatcher(acquire(),
                                max_batch=args.microbatch,
                                max_wait_s=args.microbatch_wait_ms * 1e-3)
-        infer = batcher.submit
-    sessions = {
-        d: DesignSession(flows[d],
-                         batcher.predictor if batcher is not None
-                         else acquire(),
-                         seed=args.seed, sample=samples[d], infer=infer)
-        for d in args.designs}
+    factory = SessionFactory(acquire, batcher=batcher,
+                             flow_config=flow_config,
+                             corners=corner_names,
+                             default_seed=args.seed)
+    sessions = {d: factory.open(flows[d], sample=samples[d])
+                for d in args.designs}
     server = TimingServer(
         sessions,
         ServerConfig(host=args.host, port=args.port,

@@ -24,7 +24,7 @@ one, so baselines, tests and existing callers keep working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.ml.batch import PackedBatch
 from repro.ml.features import CELL_FEATURE_DIM, NET_FEATURE_DIM
 from repro.ml.sample import DesignSample
 from repro.nn import (
+    Embedding,
     Linear,
     Module,
     ReLU,
@@ -60,10 +61,27 @@ class ModelConfig:
     #: Residual identity path in the GNN cell update (see EndpointGNN).
     gnn_residual: bool = True
     seed: int = 0
+    #: Sign-off corners the model is conditioned on, in embedding-index
+    #: order.  A single corner (the legacy implicit one) creates no
+    #: embedding at all — parameters, rng stream and outputs are
+    #: bit-identical to a pre-MMMC model.
+    corner_names: Tuple[str, ...] = ("base",)
+    corner_embed: int = 8            # corner embedding width
 
     def __post_init__(self) -> None:
         require(self.variant in VARIANTS,
                 f"variant must be one of {VARIANTS}")
+        if not isinstance(self.corner_names, tuple):
+            object.__setattr__(self, "corner_names",
+                               tuple(self.corner_names))
+        require(len(self.corner_names) >= 1, "need at least one corner")
+        require(len(set(self.corner_names)) == len(self.corner_names),
+                f"duplicate corner names: {self.corner_names}")
+        require(self.corner_embed > 0, "corner_embed must be positive")
+
+    @property
+    def n_corners(self) -> int:
+        return len(self.corner_names)
 
 
 class RestructureTolerantModel(Module):
@@ -90,6 +108,16 @@ class RestructureTolerantModel(Module):
             self.layout_fc = Sequential(
                 Linear(map_flat, config.layout_embed, rng=rng), ReLU())
             reg_in += config.layout_embed
+
+        # MMMC conditioning: one learned row per corner, concatenated
+        # into the fusion head.  Created ONLY for multi-corner configs so
+        # the single-corner parameter list and rng stream stay exactly
+        # the pre-MMMC ones (bit-identity for existing artifacts).
+        self.corner_embedding: Optional[Embedding] = None
+        if config.n_corners > 1:
+            self.corner_embedding = Embedding(config.n_corners,
+                                              config.corner_embed, rng=rng)
+            reg_in += config.corner_embed
 
         sizes = ([reg_in]
                  + [config.regressor_hidden] * (config.mlp_layers - 1) + [1])
@@ -140,6 +168,9 @@ class RestructureTolerantModel(Module):
                 masks = batch.masks.astype(float)
                 masked = masks * global_maps[batch.endpoint_sample]
             parts.append(self.layout_fc.forward(masked))
+        if self.corner_embedding is not None:
+            parts.append(self.corner_embedding.forward(
+                batch.endpoint_corner))
         if inference:
             width = sum(p.shape[1] for p in parts)
             z = np.concatenate(parts, axis=1,
@@ -164,7 +195,8 @@ class RestructureTolerantModel(Module):
             grad_h[batch.endpoint_nodes] = gn
             self.gnn.backward(grad_h)
         if self.cnn is not None:
-            gl = gz[:, offset:]
+            gl = gz[:, offset:offset + self.config.layout_embed]
+            offset += self.config.layout_embed
             gm = self.layout_fc.backward(gl) * masks    # (E, P4)
             # Per-design map gradients: endpoints are grouped contiguously
             # by sample, so the segment sum reduces straight to (B, P4).
@@ -175,6 +207,8 @@ class RestructureTolerantModel(Module):
                 gmaps = np.zeros((batch.n_samples, gm.shape[1]))
                 np.add.at(gmaps, batch.endpoint_sample, gm)
             self.cnn.backward_batch(gmaps)
+        if self.corner_embedding is not None:
+            self.corner_embedding.backward(gz[:, offset:])
         self._cache = None
 
     # ------------------------------------------------------------------

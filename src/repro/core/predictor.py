@@ -38,10 +38,12 @@ from repro.utils import require
 #: unversioned pickle of a :class:`ModelConfig` instance; v2 stores a
 #: plain-dict payload so artifacts survive dataclass refactors; v3 adds
 #: a ``precision`` field and allows int8-quantized weight entries
-#: (``{"quant", "q", "scale"}`` dicts) in ``state``.  Bump on any
-#: payload layout change and teach :meth:`TimingPredictor.from_artifact`
-#: the migration.
-ARTIFACT_SCHEMA_VERSION = 3
+#: (``{"quant", "q", "scale"}`` dicts) in ``state``; v4 adds MMMC
+#: corner conditioning (``model_config`` may carry ``corner_names`` /
+#: ``corner_embed`` and ``state`` the corner-embedding table).  Bump on
+#: any payload layout change and teach
+#: :meth:`TimingPredictor.from_artifact` the migration.
+ARTIFACT_SCHEMA_VERSION = 4
 ARTIFACT_FORMAT = "repro.timing-predictor"
 
 #: Declared differential-tolerance budget of the fp32 inference tier
@@ -177,7 +179,7 @@ class TimingPredictor:
 
     # ------------------------------------------------------------------
     def to_artifact(self, precision: Optional[str] = None) -> Dict[str, Any]:
-        """The versioned, plain-data artifact payload (schema v3).
+        """The versioned, plain-data artifact payload (schema v4).
 
         Everything is stdlib/numpy data — no repro classes are pickled,
         so saved artifacts keep loading across dataclass refactors.
@@ -230,7 +232,7 @@ class TimingPredictor:
         return state
 
     def save(self, path: Path, precision: Optional[str] = None) -> None:
-        """Persist config, weights and label normalization (schema v3)."""
+        """Persist config, weights and label normalization (schema v4)."""
         with open(path, "wb") as fh:
             pickle.dump(self.to_artifact(precision=precision), fh)
 
@@ -240,13 +242,15 @@ class TimingPredictor:
                       share_state: bool = False) -> "TimingPredictor":
         """Reconstruct a predictor from an artifact payload.
 
-        Accepts the current schema (v3), the previous v2, or the legacy
-        unversioned format (a pickled ``ModelConfig`` + ``(mean, std)``
-        tuple) with a :class:`DeprecationWarning`.  Unknown newer
-        versions are rejected with an actionable error instead of
-        mis-loading silently.
+        Accepts the current schema (v4), the previous v3 and v2 (whose
+        ``model_config`` dicts lack ``corner_names`` and default to the
+        single implicit base corner), or the legacy unversioned format
+        (a pickled ``ModelConfig`` + ``(mean, std)`` tuple) with a
+        :class:`DeprecationWarning`.  Unknown newer versions are
+        rejected with an actionable error instead of mis-loading
+        silently.
 
-        A v3 payload carrying int8-quantized weight entries is restored
+        A payload carrying int8-quantized weight entries is restored
         with the stored ``q``/``scale`` payloads installed **verbatim**
         (re-quantizing the dequantized weights could drift the scales by
         an ulp), and the predictor comes back with its ``precision``
@@ -270,7 +274,7 @@ class TimingPredictor:
                 DeprecationWarning, stacklevel=2)
             model_config = payload["model_config"]
             mean, std = payload["norm"]
-        elif version in (2, ARTIFACT_SCHEMA_VERSION):
+        elif version in (2, 3, ARTIFACT_SCHEMA_VERSION):
             model_config = ModelConfig(**payload["model_config"])
             mean, std = payload["norm"]["mean"], payload["norm"]["std"]
         else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.netlist import DESIGN_PRESETS, DesignSpec, Netlist, generate_netlist
 from repro.opt import OptimizerConfig, OptReport, TimingOptimizer
@@ -32,6 +32,7 @@ from repro.placement import (
 from repro.placement.density import LayoutMaps
 from repro.route import RouterConfig, RoutingResult, route
 from repro.timing import (
+    CornerSet,
     PreRouteEstimator,
     STAResult,
     build_timing_graph,
@@ -51,6 +52,18 @@ class FlowConfig:
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     router: RouterConfig = field(default_factory=RouterConfig)
     map_bins: int = 64                 # layout feature map resolution
+    #: Sign-off corners, by registered name (see repro.timing.corners).
+    #: The first corner is primary; the default is the legacy single
+    #: implicit corner.
+    corners: Tuple[str, ...] = ("base",)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.corners, tuple):
+            object.__setattr__(self, "corners", tuple(self.corners))
+
+    def corner_set(self) -> CornerSet:
+        """The configured corners, resolved against the registry."""
+        return CornerSet.parse(self.corners)
 
     def fingerprint(self) -> str:
         """Stable content hash over the *full* configuration.
@@ -60,9 +73,17 @@ class FlowConfig:
         the hash, so anything keyed on it (notably the dataset cache,
         see :mod:`repro.ml.dataset`) is invalidated by any change that
         could alter the flow's outputs or labels.
+
+        ``corners`` is deliberately *excluded*: corners change labels,
+        not the flow's physical outputs, and per-corner labels are keyed
+        per corner downstream (:func:`repro.ml.dataset.sample_cache_path`).
+        Excluding it keeps every pre-MMMC cache key byte-identical and
+        lets corner configs share the physical flow cache.
         """
-        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        payload = asdict(self)
+        payload.pop("corners", None)
+        text = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -84,21 +105,44 @@ class FlowResult:
     routing: RoutingResult
     signoff_sta: STAResult
     timer: StageTimer
+    #: Sign-off STA per configured corner name.  ``"base"`` aliases
+    #: ``signoff_sta`` (same object); single-corner flows carry only
+    #: that alias, so pre-MMMC behavior is unchanged.
+    corner_signoff: Dict[str, STAResult] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.spec.name
 
-    def endpoint_labels(self) -> dict:
+    @property
+    def corner_names(self) -> Tuple[str, ...]:
+        """Corners this flow was signed off at (primary first)."""
+        if not self.corner_signoff:
+            return ("base",)
+        return tuple(self.corner_signoff)
+
+    def signoff_at(self, corner: str = "base") -> STAResult:
+        """Sign-off STA for one corner; ``"base"`` always resolves."""
+        if corner == "base" and not self.corner_signoff:
+            return self.signoff_sta
+        require(corner in self.corner_signoff,
+                f"flow was not signed off at corner {corner!r} "
+                f"(have: {list(self.corner_signoff) or ['base']})")
+        return self.corner_signoff[corner]
+
+    def endpoint_labels(self, corner: str = "base") -> dict:
         """Sign-off arrival time per endpoint pin of the *input* netlist.
 
         Endpoints (flip-flop D pins, primary outputs) are never replaced by
         the optimizer, so their pin ids are shared between the input and the
         optimized netlists — the anchor the paper's formulation relies on.
+
+        ``corner`` selects which sign-off run the labels come from.
         """
         endpoints = set(self.input_netlist.endpoint_pins())
+        sta = self.signoff_at(corner)
         labels = {pid: arr for pid, arr in
-                  self.signoff_sta.endpoint_arrival.items()
+                  sta.endpoint_arrival.items()
                   if pid in endpoints}
         require(len(labels) == len(endpoints),
                 "optimizer must never replace a timing endpoint")
@@ -154,6 +198,17 @@ def run_flow_on_spec(spec: DesignSpec,
     with timer.stage("sta"):
         signoff_graph = build_timing_graph(opt_netlist)
         signoff_sta = run_sta(signoff_graph, routing.lengths, clock_period)
+        # Additional sign-off corners reuse the routed graph; the base
+        # corner aliases the nominal run so the single-corner default
+        # does no extra work and stays bit-identical.
+        corner_signoff: Dict[str, STAResult] = {}
+        for corner in config.corner_set():
+            if corner.name == "base":
+                corner_signoff["base"] = signoff_sta
+            else:
+                corner_signoff[corner.name] = run_sta(
+                    signoff_graph, routing.lengths, clock_period,
+                    corner=corner)
 
     return FlowResult(
         spec=spec,
@@ -168,4 +223,5 @@ def run_flow_on_spec(spec: DesignSpec,
         routing=routing,
         signoff_sta=signoff_sta,
         timer=timer,
+        corner_signoff=corner_signoff,
     )

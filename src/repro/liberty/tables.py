@@ -64,6 +64,21 @@ class LookupTable2D:
         return ((1 - ts) * (1 - tl) * v00 + (1 - ts) * tl * v01
                 + ts * (1 - tl) * v10 + ts * tl * v11)
 
+    def scaled(self, factor: float) -> "LookupTable2D":
+        """A derated copy of this table with every value scaled.
+
+        This is the NLDM analogue of a PVT corner: commercial libraries
+        ship one table set per corner; we derive them by scaling the
+        nominal characterization (see :mod:`repro.timing.corners`).
+        ``factor == 1.0`` returns ``self`` so the nominal corner shares
+        tables (and their interpolation caches) with the base library.
+        """
+        require(factor > 0.0, "derating factor must be positive")
+        if factor == 1.0:
+            return self
+        return LookupTable2D(self.slew_axis, self.load_axis,
+                             self.values * factor)
+
 
 def synthesize_table(slew_axis: np.ndarray, load_axis: np.ndarray,
                      fn) -> LookupTable2D:

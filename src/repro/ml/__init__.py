@@ -6,11 +6,13 @@ from repro.ml.batch import (
     PackedBatch,
 )
 from repro.ml.dataset import (
+    build_corner_samples,
     build_dataset,
     build_dataset_report,
     build_level_plans,
     build_sample,
     load_or_build_sample,
+    load_or_build_samples,
     sample_cache_path,
 )
 from repro.ml.features import (
@@ -32,11 +34,13 @@ __all__ = [
     "DEFAULT_ENDPOINT_BATCH",
     "EndpointBatchSampler",
     "PackedBatch",
+    "build_corner_samples",
     "build_dataset",
     "build_dataset_report",
     "build_level_plans",
     "build_sample",
     "load_or_build_sample",
+    "load_or_build_samples",
     "sample_cache_path",
     "CELL_FEATURE_DIM",
     "NET_FEATURE_DIM",

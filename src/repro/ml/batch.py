@@ -78,6 +78,12 @@ class PackedBatch:
     layout_stacks: np.ndarray         # (B, 3, M, N) stacked maps
     masks: np.ndarray                 # (E, P4) stacked masked-layout masks
 
+    # --- MMMC corner axis ----------------------------------------------
+    #: (B,) each sample's corner embedding index.  Corners ride the
+    #: batch dimension: a cross-corner what-if packs one corner view per
+    #: corner, so one forward covers them all.
+    corner_ids: np.ndarray = None
+
     # ------------------------------------------------------------------
     @property
     def n_samples(self) -> int:
@@ -95,6 +101,15 @@ class PackedBatch:
     def endpoint_clock_periods(self) -> np.ndarray:
         """(E,) the owning sample's clock period, per endpoint."""
         return self.clock_periods[self.endpoint_sample]
+
+    @property
+    def endpoint_corner(self) -> np.ndarray:
+        """(E,) the owning sample's corner index, per endpoint."""
+        cached = getattr(self, "_endpoint_corner", None)
+        if cached is None:
+            cached = self.corner_ids[self.endpoint_sample]
+            self._endpoint_corner = cached
+        return cached
 
     @property
     def name(self) -> str:
@@ -144,6 +159,7 @@ class PackedBatch:
                 clock_periods=np.array([s.clock_period]),
                 layout_stacks=s.layout_stack[None],
                 masks=masks,
+                corner_ids=np.array([s.corner_index], dtype=np.int64),
             )
             batch._topo_orders = plan_orders(s)
             return batch
@@ -175,6 +191,10 @@ class PackedBatch:
             clock_periods=np.array([s.clock_period for s in samples]),
             layout_stacks=_stack_arrays([s.layout_stack for s in samples]),
             masks=masks,
+            # Corner ids are per-pack, not part of the cached topology:
+            # corner views share their base sample's plans identity.
+            corner_ids=np.array([s.corner_index for s in samples],
+                                dtype=np.int64),
         )
         batch._topo_orders = topo["orders"]
         return batch

@@ -62,8 +62,20 @@ def build_level_plans(graph) -> List[LevelPlan]:
 
 
 def build_sample(flow: FlowResult, map_bins: int = 64,
-                 seed: int = 0) -> DesignSample:
-    """Convert a flow result into a training/inference sample."""
+                 seed: int = 0, corner: Optional[str] = None) -> DesignSample:
+    """Convert a flow result into a training/inference sample.
+
+    ``corner`` selects which sign-off corner the labels ``y`` come from
+    (default: the base corner when the flow has it, else the flow's
+    primary corner).  Features, masks and baseline bookkeeping are
+    corner-independent — the predictor sees the same pre-route context
+    at every corner and learns the corner effect through its embedding
+    (see DESIGN.md, "Multi-corner timing").
+    """
+    corner_names = flow.corner_names
+    if corner is None:
+        corner = "base" if "base" in corner_names else corner_names[0]
+    corner_index = corner_names.index(corner)
     nl = flow.input_netlist
     placement = flow.input_placement
 
@@ -78,7 +90,7 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
     preprocess_time = sp.duration
 
     endpoint_pins = np.array([int(graph.pin_ids[v]) for v in graph.endpoints])
-    labels = flow.endpoint_labels()
+    labels = flow.endpoint_labels(corner)
     y = np.array([labels[int(p)] for p in endpoint_pins])
 
     # --- Baseline bookkeeping: sign-off local delays on SURVIVING edges.
@@ -125,9 +137,31 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
         signoff_slew_by_pin=slew_by_pin,
         flow_times=dict(flow.timer.stages),
         preprocess_time=preprocess_time,
+        corner=corner,
+        corner_index=corner_index,
     )
     _attach_baseline_data(sample, flow, graph)
     return sample
+
+
+def build_corner_samples(flow: FlowResult, map_bins: int = 64,
+                         seed: int = 0) -> List[DesignSample]:
+    """One sample per sign-off corner of *flow*, in corner order.
+
+    The expensive structural work (graph, plans, features, masks) runs
+    once, for the first corner; the remaining corners are shallow
+    :meth:`~repro.ml.sample.DesignSample.corner_view` copies that share
+    every array and differ only in corner identity and labels.
+    """
+    names = flow.corner_names
+    first = build_sample(flow, map_bins=map_bins, seed=seed,
+                         corner=names[0])
+    out = [first]
+    for idx, cname in enumerate(names[1:], start=1):
+        labels = flow.endpoint_labels(cname)
+        y = np.array([labels[int(p)] for p in first.endpoint_pins])
+        out.append(first.corner_view(cname, idx, y=y))
+    return out
 
 
 def _attach_baseline_data(sample: DesignSample, flow: FlowResult,
@@ -187,50 +221,86 @@ def _edge_in(nl, edge: Tuple[int, int]) -> bool:
 
 
 def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
-                      map_bins: int, seed: int) -> Path:
-    """Cache file for one design under one *full* configuration.
+                      map_bins: int, seed: int,
+                      corner: str = "base") -> Path:
+    """Cache file for one (design, corner) under one *full* configuration.
 
     The key is a content hash over the complete :class:`FlowConfig`
     (including the placer/optimizer/router sub-configs and ``with_opt``)
     plus the sample parameters and :data:`CACHE_VERSION`, so any change
     that could alter features or labels maps to a different file — a
     stale entry can never be served for a different configuration.
+
+    Non-base corners extend the hash payload and the file name with a
+    corner tag; the base corner's key is byte-identical to the
+    pre-corner scheme, so existing caches keep hitting.
     """
     payload = (f"{flow_config.fingerprint()}:b{map_bins}:s{seed}"
                f":v{CACHE_VERSION}")
+    stem = name
+    if corner != "base":
+        payload += f":c{corner}"
+        stem = f"{name}@{corner}"
     key = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-    return Path(cache_dir) / f"{name}_{key}.pkl"
+    return Path(cache_dir) / f"{stem}_{key}.pkl"
+
+
+def load_or_build_samples(name: str, flow_config: FlowConfig,
+                          map_bins: int = 64, seed: int = 0,
+                          cache_dir: Optional[Path] = None,
+                          ) -> Tuple[List[DesignSample], str]:
+    """One design → one sample per configured corner, through the cache.
+
+    Returns ``(samples, status)`` with status ``"cached"`` (every corner
+    hit) or ``"built"`` (one flow run produced all corners).  Cache
+    reads treat corrupt/unreadable files as misses (warn + rebuild);
+    cache writes are atomic (temp file + ``os.replace``), so an
+    interrupted build never leaves a half-written file behind.  Shared
+    by the serial loop below and the parallel workers in
+    :mod:`repro.ml.parallel`.
+    """
+    corners = flow_config.corner_set()
+    cache_files = None
+    if cache_dir is not None:
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        cache_files = [sample_cache_path(cache_dir, name, flow_config,
+                                         map_bins, seed, corner=c.name)
+                       for c in corners]
+        cached = [load_pickle_or_none(f, logger) for f in cache_files]
+        if all(s is not None for s in cached):
+            # Corner identity follows the *current* set order (a cache
+            # entry is keyed by corner name, not position); pre-corner
+            # base pickles resolve via the class defaults and are
+            # re-stamped identically.
+            for i, (c, s) in enumerate(zip(corners, cached)):
+                s.corner = c.name
+                s.corner_index = i
+            logger.info("loaded %s from cache (%d corner(s))", name,
+                        len(cached))
+            return cached, "cached"
+    logger.info("running flow for %s", name)
+    flow = run_flow(name, flow_config)
+    samples = build_corner_samples(flow, map_bins=map_bins, seed=seed)
+    if cache_files is not None:
+        for sample, cache_file in zip(samples, cache_files):
+            atomic_pickle_dump(sample, cache_file)
+    return samples, "built"
 
 
 def load_or_build_sample(name: str, flow_config: FlowConfig,
                          map_bins: int = 64, seed: int = 0,
                          cache_dir: Optional[Path] = None,
                          ) -> Tuple[DesignSample, str]:
-    """One design → sample, through the disk cache when available.
+    """Single-sample façade over :func:`load_or_build_samples`.
 
-    Returns ``(sample, status)`` with status ``"cached"`` or ``"built"``.
-    Cache reads treat corrupt/unreadable files as misses (warn + rebuild);
-    cache writes are atomic (temp file + ``os.replace``), so an
-    interrupted build never leaves a half-written file behind.  Shared by
-    the serial loop below and the parallel workers in
-    :mod:`repro.ml.parallel`.
+    Returns the first configured corner's sample — for the default
+    single-corner config, exactly the pre-corner behavior.
     """
-    cache_file = None
-    if cache_dir is not None:
-        cache_dir = Path(cache_dir)
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        cache_file = sample_cache_path(cache_dir, name, flow_config,
-                                       map_bins, seed)
-        sample = load_pickle_or_none(cache_file, logger)
-        if sample is not None:
-            logger.info("loaded %s from cache", name)
-            return sample, "cached"
-    logger.info("running flow for %s", name)
-    flow = run_flow(name, flow_config)
-    sample = build_sample(flow, map_bins=map_bins, seed=seed)
-    if cache_file is not None:
-        atomic_pickle_dump(sample, cache_file)
-    return sample, "built"
+    samples, status = load_or_build_samples(
+        name, flow_config, map_bins=map_bins, seed=seed,
+        cache_dir=cache_dir)
+    return samples[0], status
 
 
 def build_dataset(designs: List[str],
@@ -245,9 +315,11 @@ def build_dataset(designs: List[str],
     :func:`sample_cache_path`) so benchmarks re-run quickly.  With
     ``jobs > 1`` designs are built in parallel worker processes (see
     :mod:`repro.ml.parallel`); serial and parallel builds produce
-    identical samples.  Raises ``RuntimeError`` if any design still
-    fails after the per-design retry; use :func:`build_dataset_report`
-    to inspect partial results instead.
+    identical samples.  With a multi-corner ``flow_config`` each design
+    contributes ``len(corners)`` consecutive samples (design-major,
+    corner-minor).  Raises ``RuntimeError`` if any design still fails
+    after the per-design retry; use :func:`build_dataset_report` to
+    inspect partial results instead.
     """
     samples, report = build_dataset_report(
         designs, flow_config=flow_config, map_bins=map_bins,
@@ -291,23 +363,24 @@ def build_dataset_report(designs: List[str],
             designs, flow_config, map_bins=map_bins, cache_dir=cache_dir,
             seed=seed, jobs=jobs, _fail_once=_fail_once)
 
+    n_corners = len(flow_config.corner_set())
     samples: List[Optional[DesignSample]] = []
     statuses: List[DesignBuildStatus] = []
     wall_start = time.perf_counter()
     for name in designs:
         start = time.perf_counter()
         try:
-            sample, status = load_or_build_sample(
+            built, status = load_or_build_samples(
                 name, flow_config, map_bins=map_bins, seed=seed,
                 cache_dir=cache_dir)
-            samples.append(sample)
+            samples.extend(built)
             statuses.append(DesignBuildStatus(
                 design=name, status=status, attempts=1,
                 duration_s=time.perf_counter() - start))
         except Exception as exc:
             logger.warning("building %s failed: %s: %s", name,
                            type(exc).__name__, exc)
-            samples.append(None)
+            samples.extend([None] * n_corners)
             statuses.append(DesignBuildStatus(
                 design=name, status="failed", attempts=1,
                 duration_s=time.perf_counter() - start,

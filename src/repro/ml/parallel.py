@@ -144,14 +144,15 @@ def _worker_init(trace_dir: Optional[str], tracing: bool) -> None:
         tracer.disable()
 
 
-def _build_one(task: _BuildTask) -> Tuple[int, DesignSample, str, float, int]:
-    """Worker body: build (or load) one design's sample.
+def _build_one(task: _BuildTask
+               ) -> Tuple[int, List[DesignSample], str, float, int]:
+    """Worker body: build (or load) one design's per-corner samples.
 
-    Returns ``(index, sample, status, duration_s, pid)``.
+    Returns ``(index, samples, status, duration_s, pid)``.
     """
     # Import here so the function pickles by reference without dragging
     # the dataset module through the executor's serializer.
-    from repro.ml.dataset import load_or_build_sample
+    from repro.ml.dataset import load_or_build_samples
 
     if task.fail_mode and task.attempt == 1:
         if task.fail_mode == "crash":
@@ -159,7 +160,7 @@ def _build_one(task: _BuildTask) -> Tuple[int, DesignSample, str, float, int]:
         raise RuntimeError(f"injected failure for {task.design!r}")
 
     start = time.perf_counter()
-    sample, status = load_or_build_sample(
+    samples, status = load_or_build_samples(
         task.design, task.flow_config, map_bins=task.map_bins,
         seed=task.seed,
         cache_dir=Path(task.cache_dir) if task.cache_dir else None)
@@ -172,7 +173,7 @@ def _build_one(task: _BuildTask) -> Tuple[int, DesignSample, str, float, int]:
         tracer.ingest({"type": "metrics", "pid": os.getpid(),
                        "ts": time.time(),
                        "snapshot": get_metrics().snapshot()})
-    return task.index, sample, status, duration, os.getpid()
+    return task.index, samples, status, duration, os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -199,19 +200,21 @@ def build_dataset_parallel(
 ) -> Tuple[List[Optional[DesignSample]], BuildReport]:
     """Build samples for *designs* across ``jobs`` worker processes.
 
-    Returns ``(samples, report)``; *samples* is aligned with *designs*
-    and holds ``None`` for designs that failed after their retry.
-    ``_fail_once`` injects a fault on a design's first attempt
-    (``"raise"`` → exception in the worker, ``"crash"`` → the worker
-    process dies, breaking the pool) — used by the crash-tolerance
-    tests.
+    Returns ``(samples, report)``; *samples* is design-major,
+    corner-minor (``len(corners)`` consecutive entries per design, one
+    for the default single-corner config) and holds ``None`` for
+    designs that failed after their retry.  ``_fail_once`` injects a
+    fault on a design's first attempt (``"raise"`` → exception in the
+    worker, ``"crash"`` → the worker process dies, breaking the pool)
+    — used by the crash-tolerance tests.
     """
     jobs = max(1, int(jobs))
     fail_once = dict(_fail_once or {})
     tracer = get_tracer()
     tracing = tracer.enabled
 
-    samples: List[Optional[DesignSample]] = [None] * len(designs)
+    n_corners = len(flow_config.corner_set())
+    per_design: List[Optional[List[DesignSample]]] = [None] * len(designs)
     statuses: Dict[int, DesignBuildStatus] = {}
     wall_start = time.perf_counter()
 
@@ -241,7 +244,7 @@ def build_dataset_parallel(
                 for fut in done:
                     task, gen = pending.pop(fut)
                     try:
-                        idx, sample, status, dur, pid = fut.result()
+                        idx, built, status, dur, pid = fut.result()
                     except Exception as exc:
                         if isinstance(exc, BrokenProcessPool):
                             # A crashed worker poisons every pending
@@ -270,7 +273,7 @@ def build_dataset_parallel(
                                 design=task.design, status="failed",
                                 attempts=task.attempt, error=error)
                         continue
-                    samples[idx] = sample
+                    per_design[idx] = built
                     statuses[idx] = DesignBuildStatus(
                         design=task.design, status=status,
                         attempts=task.attempt, duration_s=dur,
@@ -279,6 +282,9 @@ def build_dataset_parallel(
 
         merged = merge_worker_traces(trace_dir, tracer) if tracing else 0
 
+    samples: List[Optional[DesignSample]] = []
+    for built in per_design:
+        samples.extend(built if built is not None else [None] * n_corners)
     report = BuildReport(
         statuses=[statuses[i] for i in range(len(designs))],
         jobs=jobs,

@@ -86,6 +86,14 @@ class DesignSample:
     flow_times: Dict[str, float] = field(default_factory=dict)
     preprocess_time: float = 0.0
 
+    # --- MMMC corner axis ------------------------------------------------
+    #: Sign-off corner the labels ``y`` were extracted at, and its index
+    #: into the model's ``corner_names`` / the dataset's corner order.
+    #: Plain class-level defaults, so samples unpickled from pre-corner
+    #: caches resolve to the implicit base corner.
+    corner: str = "base"
+    corner_index: int = 0
+
     @property
     def n_endpoints(self) -> int:
         return len(self.endpoint_nodes)
@@ -95,3 +103,22 @@ class DesignSample:
         side = int(round(np.sqrt(self.masks.shape[1])))
         assert side * side == self.masks.shape[1]
         return side
+
+    def corner_view(self, corner: str, corner_index: int,
+                    y: np.ndarray = None) -> "DesignSample":
+        """A shallow per-corner view of this sample.
+
+        Every array field is *shared by reference* — features, masks,
+        plans, layout — so in-place edits to the base sample (the serve
+        path's incremental re-featurization) are visible through every
+        view, and the pack-plan cache keys (plans-list identity) hit.
+        Only the corner identity, and optionally the labels, differ.
+        """
+        import copy
+
+        view = copy.copy(self)
+        view.corner = corner
+        view.corner_index = corner_index
+        if y is not None:
+            view.y = y
+        return view

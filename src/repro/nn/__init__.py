@@ -16,7 +16,7 @@ from repro.nn.module import (
     load_state_dict,
     state_dict,
 )
-from repro.nn.layers import Flatten, Linear, ReLU, Tanh, mlp
+from repro.nn.layers import Embedding, Flatten, Linear, ReLU, Tanh, mlp
 from repro.nn.conv import Conv2d, MaxPool2d
 from repro.nn.losses import huber_loss, mse_loss
 from repro.nn.optim import SGD, Adam
@@ -46,6 +46,7 @@ __all__ = [
     "current_workspace",
     "workspace",
     "ws_empty",
+    "Embedding",
     "Flatten",
     "Linear",
     "ReLU",

@@ -89,6 +89,51 @@ class Linear(Module):
         return grad_output @ self.weight.data
 
 
+class Embedding(Module):
+    """Row-gather lookup table ``y = W[ids]`` for integer id arrays.
+
+    Backward scatter-adds the output gradient into the selected rows.
+    Used for the MMMC corner embedding: each packed sample carries a
+    corner index, and the gathered row is concatenated into the fusion
+    head (see :mod:`repro.core.fusion`).
+    """
+
+    def __init__(self, n_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        require(n_embeddings > 0 and dim > 0,
+                "Embedding needs positive table dimensions")
+        rng = rng or np.random.default_rng(0)
+        # Small-normal init: the rows start near zero so a freshly added
+        # corner axis perturbs the fused representation only mildly.
+        self.weight = Parameter(rng.normal(0.0, 0.1, (n_embeddings, dim)))
+        self._cache: List[np.ndarray] = []
+        self._w_eff: Optional[np.ndarray] = None
+
+    def _set_precision(self, mode: str) -> None:
+        self._precision = mode
+        # The table is tiny (corners × dim); fp32/int8 tiers just keep a
+        # single-precision copy so gathered rows match the pipeline dtype.
+        self._w_eff = (None if mode == "fp64"
+                       else self.weight.data.astype(np.float32))
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        require(np.issubdtype(np.asarray(ids).dtype, np.integer),
+                "Embedding expects integer ids")
+        if is_inference():
+            w = self._w_eff if self._w_eff is not None else self.weight.data
+            return np.take(w, ids, axis=0,
+                           out=ws_empty((len(ids), w.shape[1]), w.dtype))
+        require(self.precision == "fp64",
+                f"training requires fp64 precision, not {self.precision!r}")
+        self._cache.append(np.asarray(ids))
+        return self.weight.data[ids]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        ids = self._cache.pop()
+        np.add.at(self.weight.grad, ids, grad_output)
+        return None  # ids are not differentiable
+
+
 class ReLU(Module):
     """Elementwise rectifier."""
 

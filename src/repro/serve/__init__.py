@@ -2,9 +2,14 @@
 
 Layering (see DESIGN.md):
 
+* :mod:`repro.serve.api` — the canonical typed request/response
+  schemas and the API versioning rules (v1 legacy / v2 corner-aware).
 * :class:`DesignSession` — one design's resident flow artifacts +
   prepared sample + incremental featurizer/STA; answers predictions and
-  what-if edits without re-running the flow.
+  what-if edits (across every served sign-off corner) without
+  re-running the flow.
+* :class:`SessionFactory` — the single session-construction path shared
+  by embedders, the fleet workers and the CLI bootstrap.
 * :class:`PredictorRegistry` — validated, versioned model artifacts,
   served read-only; hands a fresh predictor instance to each session.
 * :class:`RequestDispatcher` — transport-agnostic routing, slot
@@ -20,15 +25,28 @@ Layering (see DESIGN.md):
   model artifact (``repro serve --workers N``).
 """
 
+from repro.serve.api import (
+    CURRENT_API_VERSION,
+    LEGACY_API_VERSION,
+    SUPPORTED_API_VERSIONS,
+    ApiError,
+    CornerReport,
+    DesignInfo,
+    HealthResponse,
+    PredictRequest,
+    PredictResponse,
+    WhatifRequest,
+    WhatifResponse,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.dispatch import Deadline, RequestDispatcher
+from repro.serve.factory import SessionFactory
 from repro.serve.featurize import IncrementalFeaturizer
 from repro.serve.fleet import FleetConfig, FleetOverloaded, TimingFleet
 from repro.serve.gateway import TimingGateway
 from repro.serve.registry import PredictorRegistry
 from repro.serve.server import (
     API_VERSION,
-    ApiError,
     ServerConfig,
     TimingServer,
 )
@@ -38,21 +56,32 @@ from repro.serve.shm import SharedArtifact, ShmArtifactMeta, attach_artifact
 __all__ = [
     "API_VERSION",
     "ApiError",
+    "CURRENT_API_VERSION",
+    "CornerReport",
     "Deadline",
+    "DesignInfo",
     "DesignSession",
     "EDIT_OPS",
     "Edit",
     "FleetConfig",
     "FleetOverloaded",
+    "HealthResponse",
     "IncrementalFeaturizer",
+    "LEGACY_API_VERSION",
     "MicroBatcher",
+    "PredictRequest",
+    "PredictResponse",
     "PredictorRegistry",
     "RequestDispatcher",
     "ServerConfig",
+    "SessionFactory",
     "SharedArtifact",
     "ShmArtifactMeta",
+    "SUPPORTED_API_VERSIONS",
     "TimingFleet",
     "TimingGateway",
     "TimingServer",
+    "WhatifRequest",
+    "WhatifResponse",
     "attach_artifact",
 ]

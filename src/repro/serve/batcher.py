@@ -41,14 +41,21 @@ _STOP = object()
 
 
 class _Pending:
-    """One caller's slot: sample in, result (or error) out."""
+    """One caller's slot: sample(s) in, result (or error) out.
 
-    __slots__ = ("sample", "event", "result", "error", "abandoned")
+    A multi-sample slot (one what-if asking for every sign-off corner)
+    contributes all of its samples to the same packed forward and gets a
+    list of arrays back, in order.
+    """
 
-    def __init__(self, sample: DesignSample) -> None:
-        self.sample = sample
+    __slots__ = ("samples", "multi", "event", "result", "error",
+                 "abandoned")
+
+    def __init__(self, samples: List[DesignSample], multi: bool) -> None:
+        self.samples = samples
+        self.multi = multi
         self.event = threading.Event()
-        self.result: Optional[np.ndarray] = None
+        self.result = None          # (E,) array, or list of them if multi
         self.error: Optional[BaseException] = None
         self.abandoned = False      # caller gave up (deadline) — result
         #                             is discarded, not delivered
@@ -73,12 +80,16 @@ class MicroBatcher:
         self._thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, sample: DesignSample,
+    def submit(self, sample,
                timeout: Optional[float] = None) -> np.ndarray:
         """Block until the batcher has predicted *sample*; returns (E,) ps.
 
         Drop-in for ``predictor.predict_array`` — sessions plug this in as
-        their ``infer`` callable.
+        their ``infer`` callable.  *sample* may also be a **list** of
+        samples (a multi-corner session's corner views); they are
+        flattened into the same packed forward as everyone else's and a
+        list of arrays comes back, in order — one cross-corner what-if
+        is still exactly one model pass.
 
         *timeout* bounds the **total** wait — queueing behind other
         batches plus the batch-formation window plus the forward pass —
@@ -87,7 +98,10 @@ class MicroBatcher:
         batch; the result is discarded) and :class:`TimeoutError` is
         raised.
         """
-        pending = _Pending(sample)
+        multi = isinstance(sample, (list, tuple))
+        samples = list(sample) if multi else [sample]
+        require(len(samples) >= 1, "submit needs at least one sample")
+        pending = _Pending(samples, multi)
         self._queue.put(pending)
         if not pending.event.wait(timeout):
             pending.abandoned = True
@@ -147,9 +161,12 @@ class MicroBatcher:
         metrics = get_metrics()
         try:
             arrays = self.predictor.predict_batch_arrays(
-                [p.sample for p in batch])
-            for pending, arr in zip(batch, arrays):
-                pending.result = arr
+                [s for p in batch for s in p.samples])
+            i = 0
+            for pending in batch:
+                chunk = arrays[i:i + len(pending.samples)]
+                i += len(pending.samples)
+                pending.result = chunk if pending.multi else chunk[0]
         except BaseException as exc:  # noqa: BLE001 — fan the error out
             logger.exception("micro-batch of %d failed", len(batch))
             for pending in batch:

@@ -32,23 +32,16 @@ import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.obs import get_metrics
+from repro.serve import api
+from repro.serve.api import ApiError
 from repro.serve.session import DesignSession
 from repro.utils import get_logger
 
 logger = get_logger("serve.dispatch")
 
-#: Protocol version reported by /health; bump on breaking API changes.
-API_VERSION = "v1"
-
-
-class ApiError(Exception):
-    """An error with a wire representation."""
-
-    def __init__(self, status: int, code: str, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.code = code
-        self.message = message
+#: Back-compat alias: the version a single-corner deployment advertises.
+#: The canonical versioning rules live in :mod:`repro.serve.api`.
+API_VERSION = api.LEGACY_API_VERSION
 
 
 class Deadline:
@@ -157,13 +150,11 @@ class RequestDispatcher:
         try:
             return 200, self.handle(method, path, body)
         except ApiError as exc:
-            return exc.status, {"error": {"code": exc.code,
-                                          "message": exc.message}}
+            return exc.status, exc.to_wire()
         except Exception as exc:  # noqa: BLE001 — wire boundary
             logger.exception("unhandled error on %s %s", method, path)
-            return 500, {"error": {"code": "internal",
-                                   "message": f"{type(exc).__name__}:"
-                                              f" {exc}"}}
+            return 500, api.error_wire("internal",
+                                       f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
     def _maybe_inject(self, body: Optional[Dict[str, Any]]) -> None:
@@ -177,48 +168,68 @@ class RequestDispatcher:
         if sleep_s > 0.0:
             time.sleep(sleep_s)
 
-    def _session(self, body: Dict[str, Any]) -> DesignSession:
-        design = body.get("design")
+    def _session(self, design: Optional[str]) -> DesignSession:
         if design is None and len(self.sessions) == 1:
             design = next(iter(self.sessions))
         if design not in self.sessions:
             raise unknown_design_error(design, self.sessions)
         return self.sessions[design]
 
+    def _served_corners(self) -> Tuple[str, ...]:
+        """Union of every session's served corners, first-seen order."""
+        corners: Dict[str, None] = {}
+        for session in self.sessions.values():
+            for name in session.corners:
+                corners[name] = None
+        return tuple(corners) or ("base",)
+
     def health(self) -> Dict[str, Any]:
-        health = {
-            "status": "ok",
-            "api_version": API_VERSION,
-            "designs": sorted(self.sessions),
-            "model": self.model_info,
-            "uptime_s": time.time() - self.started_at,
-        }
-        if self.batcher is not None:
-            health["microbatch"] = self.batcher.describe()
-        return health
+        return api.HealthResponse(
+            status="ok",
+            designs=sorted(self.sessions),
+            model=self.model_info,
+            uptime_s=time.time() - self.started_at,
+            corners=self._served_corners(),
+            microbatch=(self.batcher.describe()
+                        if self.batcher is not None else None)).to_wire()
+
+    @staticmethod
+    def _check_corner(req, session: DesignSession) -> None:
+        if req.corner is not None and req.corner not in session.corners:
+            raise ApiError(400, "unknown_corner",
+                           f"corner {req.corner!r} is not served "
+                           f"(have: {list(session.corners)})")
 
     def _predict(self, body: Dict[str, Any],
                  deadline: Deadline) -> Dict[str, Any]:
-        session = self._session(body)
-        endpoints = body.get("endpoints")
-        if endpoints is not None and not isinstance(endpoints, list):
-            raise ApiError(400, "bad_request",
-                           "'endpoints' must be a list of pin ids")
+        req = api.PredictRequest.parse(body)
+        session = self._session(req.design)
+        self._check_corner(req, session)
+        with_corners = (len(session.corners) > 1
+                        and req.api_version != api.LEGACY_API_VERSION)
         try:
-            predictions = session.predict(endpoints,
-                                          deadline_s=deadline.remaining)
+            if with_corners:
+                report = session.predict_report(
+                    req.endpoints, deadline_s=deadline.remaining,
+                    corner=req.corner)
+            else:
+                report = {"predictions": session.predict(
+                    req.endpoints, deadline_s=deadline.remaining,
+                    corner=req.corner)}
         except ValueError as exc:
             raise ApiError(400, "bad_request", str(exc)) from exc
         except TimeoutError as exc:
             raise ApiError(504, "deadline_exceeded", str(exc)) from exc
         deadline.check("after predict")
-        return {
-            "design": session.name,
-            "revision": session.revision,
-            "n_endpoints": len(predictions),
-            "predictions": {str(p): float(v)
-                            for p, v in predictions.items()},
-        }
+        reports = report.get("corners")
+        return api.PredictResponse(
+            design=session.name,
+            revision=session.revision,
+            predictions=report["predictions"],
+            corners=([api.CornerReport.from_dict(d)
+                      for d in reports.values()]
+                     if reports is not None else None),
+            worst=report.get("worst")).to_wire()
 
     def _delete(self, design: str, deadline: Deadline) -> Dict[str, Any]:
         """Evict one design: release its session's caches and arenas.
@@ -273,20 +284,19 @@ class RequestDispatcher:
 
     def _whatif(self, body: Dict[str, Any],
                 deadline: Deadline) -> Dict[str, Any]:
-        session = self._session(body)
-        edits = body.get("edits")
-        if not isinstance(edits, list) or not edits:
-            raise ApiError(400, "bad_request",
-                           "'edits' must be a non-empty list")
+        req = api.WhatifRequest.parse(body)
+        session = self._session(req.design)
+        self._check_corner(req, session)
         try:
-            result = session.whatif(edits,
-                                    commit=bool(body.get("commit", False)),
-                                    deadline_s=deadline.remaining)
+            result = session.whatif(req.edits,
+                                    commit=req.commit,
+                                    deadline_s=deadline.remaining,
+                                    corner=req.corner)
         except ValueError as exc:
             raise ApiError(400, "bad_request", str(exc)) from exc
         except TimeoutError as exc:
             raise ApiError(504, "deadline_exceeded", str(exc)) from exc
         deadline.check("after whatif")
-        result["predictions"] = {str(p): v
-                                 for p, v in result["predictions"].items()}
-        return result
+        include = (req.api_version != api.LEGACY_API_VERSION
+                   and len(session.corners) > 1)
+        return api.WhatifResponse.from_session(result, include).to_wire()

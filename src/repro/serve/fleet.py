@@ -38,7 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.flow import FlowResult
 from repro.serve.dispatch import ApiError, unknown_design_error
@@ -80,6 +80,7 @@ class FleetConfig:
     precision: str = "fp64"          # inference tier: fp64 | fp32 | int8
     plan_cache_dir: Optional[str] = None  # persistent packed-plan cache
     session_ttl_s: Optional[float] = None  # idle-session eviction TTL
+    corners: Tuple[str, ...] = ("base",)  # sign-off corners every worker serves
 
 
 @dataclass
@@ -225,6 +226,7 @@ class TimingFleet:
             "precision": self.config.precision,
             "plan_cache_dir": self.config.plan_cache_dir,
             "session_ttl_s": self.config.session_ttl_s,
+            "corners": list(self.config.corners),
         }
         process = self._ctx.Process(
             target=worker_main,
@@ -535,4 +537,5 @@ class TimingFleet:
 
 def _error_payload(code: str, message: str) -> Dict[str, Any]:
     """The same wire shape :meth:`RequestDispatcher.handle_to_wire` uses."""
-    return {"error": {"code": code, "message": message}}
+    from repro.serve.api import error_wire
+    return error_wire(code, message)

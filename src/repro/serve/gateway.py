@@ -39,7 +39,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs import get_metrics, get_tracer
 from repro.obs.merge import fold_metrics_snapshot, merge_worker_traces
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.dispatch import API_VERSION, ApiError
+from repro.serve import api
+from repro.serve.api import ApiError
 from repro.serve.fleet import FleetOverloaded, TimingFleet, WorkerHandle
 from repro.utils import get_logger
 
@@ -505,20 +506,20 @@ class TimingGateway:
     # Gateway-answered routes
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
-        health = {
-            "status": "draining" if self.draining else "ok",
-            "api_version": API_VERSION,
-            "designs": sorted(self.fleet.flows),
-            "model": self.model_info,
-            "uptime_s": time.time() - self.started_at,
-            "fleet": self.fleet.describe(),
-        }
+        microbatch = None
         if self.fleet.config.microbatch > 1:
-            health["microbatch"] = {
+            microbatch = {
                 "max_batch": self.fleet.config.microbatch,
                 "max_wait_ms": self.fleet.config.microbatch_wait_ms,
             }
-        return health
+        return api.HealthResponse(
+            status="draining" if self.draining else "ok",
+            designs=sorted(self.fleet.flows),
+            model=self.model_info,
+            uptime_s=time.time() - self.started_at,
+            corners=self.fleet.config.corners,
+            fleet=self.fleet.describe(),
+            microbatch=microbatch).to_wire()
 
     def _fold_metrics(self, snapshots: List[Any]) -> Dict[str, Any]:
         """One registry view over the gateway and every worker."""
@@ -563,7 +564,7 @@ class TimingGateway:
 
 # ----------------------------------------------------------------------
 def _error(code: str, message: str) -> Dict[str, Any]:
-    return {"error": {"code": code, "message": message}}
+    return api.error_wire(code, message)
 
 
 def _merge_designs(replies: List[Any]) -> Dict[str, Any]:

@@ -63,6 +63,8 @@ class PredictorRegistry:
             "n_parameters": sum(p.data.size
                                 for p in probe.model.parameters()),
         }
+        if probe.model_config.n_corners > 1:
+            meta["corners"] = list(probe.model_config.corner_names)
         with self._lock:
             self._payloads[name] = payload
             self._meta[name] = meta
@@ -85,6 +87,8 @@ class PredictorRegistry:
             "n_parameters": sum(p.data.size
                                 for p in predictor.model.parameters()),
         }
+        if predictor.model_config.n_corners > 1:
+            meta["corners"] = list(predictor.model_config.corner_names)
         with self._lock:
             self._payloads[name] = payload
             self._meta[name] = meta

@@ -26,13 +26,13 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.masking import build_endpoint_paths
 from repro.core.predictor import TimingPredictor
-from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.flow import FlowConfig, FlowResult
 from repro.ml.dataset import build_sample
 from repro.ml.plancache import PLAN_CACHE
 from repro.ml.sample import DesignSample
@@ -112,23 +112,52 @@ class DesignSession:
         ``sample -> (E,) arrival array (ps)``.  The micro-batching server
         passes :meth:`repro.serve.MicroBatcher.submit` here so concurrent
         sessions' inferences coalesce into one packed forward pass.
+        Multi-corner sessions additionally call it with a **list** of
+        corner-view samples and expect a list of arrays back (the
+        batcher flattens them into one packed forward).
+    corners:
+        Sign-off corner names this session answers for (must be a subset
+        of the predictor's ``corner_names``).  ``None`` serves every
+        corner the model was trained on — ``("base",)`` for legacy
+        single-corner models, which keeps all pre-MMMC behavior exactly.
     """
 
     def __init__(self, flow: FlowResult, predictor: TimingPredictor,
                  seed: int = 0,
                  sample: Optional[DesignSample] = None,
                  infer: Optional[Callable[[DesignSample], np.ndarray]]
-                 = None) -> None:
+                 = None,
+                 corners: Optional[Sequence[str]] = None) -> None:
         require(predictor.trainer.norm is not None,
                 "predictor must be fitted (or loaded) before serving")
         self.name = flow.name
         self.predictor = predictor
+        model_corners = predictor.model_config.corner_names
+        corners = (tuple(corners) if corners is not None
+                   else tuple(model_corners))
+        require(len(corners) >= 1, "session needs at least one corner")
+        unknown = [c for c in corners if c not in model_corners]
+        require(not unknown,
+                f"model serves corners {list(model_corners)}, "
+                f"not {unknown}")
+        #: Served corner names; index 0 is the *primary* corner whose
+        #: predictions fill the legacy response fields.
+        self.corners: Tuple[str, ...] = corners
+        self._corner_idx = tuple(model_corners.index(c) for c in corners)
         # With no external infer callable the session is the predictor's
         # only user, so closing the session may release the predictor's
         # inference arena too (shared predictors keep theirs).
         self._owns_model = infer is None
         self._infer = _normalize_infer(
             infer if infer is not None else predictor.predict_array)
+        # Cross-corner inference must stay ONE packed forward: the
+        # batcher's submit is list-polymorphic; a session that owns its
+        # predictor packs the corner views itself.
+        if infer is not None:
+            self._infer_many = self._infer
+        else:
+            self._infer_many = _normalize_infer(
+                predictor.predict_batch_arrays)
         self.seed = seed
         self.last_used = time.monotonic()
         self._closed = False
@@ -138,10 +167,11 @@ class DesignSession:
         self.revision = 0          # bumped on every committed edit batch
         self.whatifs_served = 0
         self._lock = threading.RLock()
-        # Predictions at the current committed state; the state only
-        # changes on commit/apply, so this saves one model inference per
-        # query (and the "before" pass of every what-if).
-        self._baseline: Optional[np.ndarray] = None
+        # Predictions at the current committed state, one (E,) array per
+        # served corner; the state only changes on commit/apply, so this
+        # saves one model inference per query (and the "before" pass of
+        # every what-if).
+        self._baseline: Optional[List[np.ndarray]] = None
 
         map_bins = predictor.model_config.map_bins
         with get_tracer().span("serve.session.open", design=self.name):
@@ -149,6 +179,15 @@ class DesignSession:
                 flow, map_bins=map_bins, seed=seed)
             require(self.sample.layout_stack.shape[1] == map_bins,
                     "sample resolution does not match the predictor")
+            # The resident sample must carry the primary corner's model
+            # index (a dataset-built sample may use flow-local indices).
+            # corner_view shares every array, so the featurizer below
+            # still edits the same buffers; the no-op check keeps the
+            # single-corner object identity (and plan-cache keys) exact.
+            if (self.sample.corner, self.sample.corner_index) != (
+                    self.corners[0], self._corner_idx[0]):
+                self.sample = self.sample.corner_view(
+                    self.corners[0], self._corner_idx[0])
             self.graph = build_timing_graph(self.netlist)
             paths = build_endpoint_paths(self.netlist.name, self.graph,
                                          seed)
@@ -166,21 +205,36 @@ class DesignSession:
     @classmethod
     def open(cls, design: str, predictor: TimingPredictor,
              flow_config: Optional[FlowConfig] = None,
-             seed: int = 0) -> "DesignSession":
-        """Run the reference flow once and wrap it in a session."""
-        flow = run_flow(design, flow_config or FlowConfig(base_seed=seed))
-        return cls(flow, predictor, seed=seed)
+             seed: int = 0,
+             corners: Optional[Sequence[str]] = None) -> "DesignSession":
+        """Run the reference flow once and wrap it in a session.
+
+        Delegates to :class:`repro.serve.factory.SessionFactory` — the
+        one construction path shared with the CLI and fleet workers.
+        """
+        from repro.serve.factory import SessionFactory
+
+        factory = SessionFactory(lambda: predictor,
+                                 flow_config=flow_config,
+                                 corners=corners, default_seed=seed)
+        return factory.open(design)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def predict(self, endpoints: Optional[Sequence[int]] = None,
-                deadline_s: Optional[float] = None) -> Dict[int, float]:
+                deadline_s: Optional[float] = None,
+                corner: Optional[str] = None) -> Dict[int, float]:
         """Batched endpoint predictions at the current design state.
 
         *endpoints* filters to a subset of endpoint pin ids; the model
         always embeds all endpoints in one batch (that is its native
         shape), so a subset costs the same as the full set.
+
+        *corner* selects which served corner's predictions to return
+        (default: the primary corner).  Every served corner is computed
+        in the same packed forward, so asking for a non-primary corner
+        costs nothing extra.
 
         *deadline_s* bounds the whole call — lock wait, micro-batch
         wait, and the forward pass; :class:`TimeoutError` on expiry.
@@ -188,8 +242,9 @@ class DesignSession:
         self.last_used = time.monotonic()
         t_end = (None if deadline_s is None
                  else time.perf_counter() + deadline_s)
+        pos = self._corner_pos(corner)
         with self._locked(t_end):
-            pred = self._baseline_array(t_end)
+            pred = self._baseline_stack(t_end)[pos]
             by_pin = {int(p): float(v)
                       for p, v in zip(self.sample.endpoint_pins, pred)}
         if endpoints is None:
@@ -199,15 +254,53 @@ class DesignSession:
                 f"unknown endpoint pin(s) for {self.name}: {missing}")
         return {int(p): by_pin[int(p)] for p in endpoints}
 
+    def predict_report(self, endpoints: Optional[Sequence[int]] = None,
+                       deadline_s: Optional[float] = None,
+                       corner: Optional[str] = None) -> Dict[str, Any]:
+        """:meth:`predict` plus per-corner arrival/slack reports.
+
+        One lock window, one cached baseline stack (all served corners
+        come out of a single packed forward).  Returns
+        ``{"predictions", "corners", "worst"}`` where ``corners`` maps
+        each served corner name to
+        ``{"corner", "predictions", "wns", "tns"}``.
+        """
+        self.last_used = time.monotonic()
+        t_end = (None if deadline_s is None
+                 else time.perf_counter() + deadline_s)
+        pos = self._corner_pos(corner)
+        with self._locked(t_end):
+            stack = self._baseline_stack(t_end)
+            reports = self._corner_reports(stack)
+            pred = stack[pos]
+            by_pin = {int(p): float(v)
+                      for p, v in zip(self.sample.endpoint_pins, pred)}
+        if endpoints is not None:
+            missing = [p for p in endpoints if int(p) not in by_pin]
+            require(not missing,
+                    f"unknown endpoint pin(s) for {self.name}: {missing}")
+            by_pin = {int(p): by_pin[int(p)] for p in endpoints}
+        return {"predictions": by_pin, "corners": reports,
+                "worst": _worst_of(reports)}
+
     def whatif(self, edits: Sequence[Edit],
                commit: bool = False,
-               deadline_s: Optional[float] = None) -> Dict[str, Any]:
+               deadline_s: Optional[float] = None,
+               corner: Optional[str] = None) -> Dict[str, Any]:
         """Apply *edits*, re-featurize incrementally, re-predict.
 
         With ``commit=False`` (the default) the edits are reverted before
         returning, so the session state is untouched — a pure question.
         Returns predictions, the analytic pre-route WNS/TNS after the
         edits, and the shift against the pre-edit predictions.
+
+        A multi-corner session answers **every** served corner in one
+        packed forward (the corner views of the edited sample are
+        flattened into a single :class:`~repro.ml.batch.PackedBatch`)
+        and adds ``corners``/``worst`` blocks to the result; the legacy
+        ``predictions``/``shift`` fields report the *corner* argument's
+        corner (default: primary).  The analytic ``pre_route`` check
+        stays the base-corner incremental STA.
 
         *deadline_s* bounds the whole call (lock + batcher wait + both
         forwards); :class:`TimeoutError` on expiry.  A timeout before
@@ -219,16 +312,16 @@ class DesignSession:
         self.last_used = time.monotonic()
         t_end = (None if deadline_s is None
                  else time.perf_counter() + deadline_s)
+        pos = self._corner_pos(corner)
         with self._locked(t_end):
             sp = get_tracer().span("serve.whatif", design=self.name,
                                    edits=len(edits), commit=commit)
             with sp:
-                before = self._baseline_array(t_end)
+                before = self._baseline_stack(t_end)
                 inverse = self._apply(edits)
                 try:
                     self._refresh()
-                    after = self._infer(self.sample,
-                                        timeout=_remaining(t_end))
+                    after = self._infer_stack(t_end)
                 except TimeoutError:
                     # Restore the pre-call state before surfacing the
                     # deadline, so an expired what-if is still pure.
@@ -236,6 +329,8 @@ class DesignSession:
                     self._refresh()
                     raise
                 sta_after = self.sta.result
+                reports = (self._corner_reports(after)
+                           if len(self.corners) > 1 else None)
                 if commit:
                     self.revision += 1
                     self._baseline = after
@@ -246,14 +341,15 @@ class DesignSession:
             get_metrics().counter("serve.whatifs").inc()
             get_metrics().histogram("serve.whatif_ms").observe(
                 sp.duration * 1e3)
-            shift = after - before
-            return {
+            shift = after[pos] - before[pos]
+            result = {
                 "design": self.name,
                 "revision": self.revision,
                 "committed": commit,
                 "predictions": {
                     int(p): float(v)
-                    for p, v in zip(self.sample.endpoint_pins, after)},
+                    for p, v in zip(self.sample.endpoint_pins,
+                                    after[pos])},
                 "pre_route": {"wns": float(sta_after.wns),
                               "tns": float(sta_after.tns)},
                 "shift": {"max_ps": float(np.abs(shift).max()),
@@ -261,6 +357,10 @@ class DesignSession:
                           "endpoints_changed": int((shift != 0.0).sum())},
                 "latency_ms": sp.duration * 1e3,
             }
+            if reports is not None:
+                result["corners"] = reports
+                result["worst"] = _worst_of(reports)
+            return result
 
     def apply(self, edits: Sequence[Edit]) -> List[Edit]:
         """Apply edits permanently; returns the inverse edit list."""
@@ -304,15 +404,18 @@ class DesignSession:
                     self.name, released)
 
     def describe(self) -> Dict[str, Any]:
-        """Summary for the ``/designs`` endpoint."""
-        return {
-            "design": self.name,
-            "cells": len(self.netlist.cells),
-            "endpoints": int(self.sample.n_endpoints),
-            "clock_period_ps": float(self.clock_period),
-            "revision": self.revision,
-            "whatifs_served": self.whatifs_served,
-        }
+        """Summary for the ``/designs`` endpoint (canonical shape in
+        :class:`repro.serve.api.DesignInfo`)."""
+        from repro.serve.api import DesignInfo
+
+        return DesignInfo(
+            design=self.name,
+            cells=len(self.netlist.cells),
+            endpoints=int(self.sample.n_endpoints),
+            clock_period_ps=float(self.clock_period),
+            revision=self.revision,
+            whatifs_served=self.whatifs_served,
+            corners=self.corners).to_wire()
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -332,12 +435,76 @@ class DesignSession:
         finally:
             self._lock.release()
 
-    def _baseline_array(self, t_end: Optional[float] = None) -> np.ndarray:
+    def _corner_pos(self, corner: Optional[str]) -> int:
+        """Position of *corner* in the served tuple (None = primary)."""
+        if corner is None:
+            return 0
+        require(corner in self.corners,
+                f"corner {corner!r} is not served for {self.name} "
+                f"(have: {list(self.corners)})")
+        return self.corners.index(corner)
+
+    def _infer_stack(self, t_end: Optional[float] = None
+                     ) -> List[np.ndarray]:
+        """One (E,) prediction array per served corner, from ONE packed
+        forward (caller holds the lock).
+
+        Corner views are built fresh per call: they share every feature
+        array with the resident sample (``corner_view`` is a shallow
+        copy), so incremental edits are always visible and only the
+        corner identity differs per view.
+        """
+        if len(self.corners) == 1:
+            return [self._infer(self.sample, timeout=_remaining(t_end))]
+        views = [self.sample.corner_view(c, i)
+                 for c, i in zip(self.corners, self._corner_idx)]
+        out = self._infer_many(views, timeout=_remaining(t_end))
+        return [np.asarray(a) for a in out]
+
+    def _baseline_stack(self, t_end: Optional[float] = None
+                        ) -> List[np.ndarray]:
         """Predictions at the committed state (cached; caller holds lock)."""
         if self._baseline is None:
-            self._baseline = self._infer(self.sample,
-                                         timeout=_remaining(t_end))
+            self._baseline = self._infer_stack(t_end)
         return self._baseline
+
+    def _corner_reports(self, stack: List[np.ndarray]
+                        ) -> Dict[str, Dict[str, Any]]:
+        """Per-corner ``{corner, predictions, wns, tns}`` blocks.
+
+        Slack follows the sign-off convention (``timing/sta.py``):
+        ``clock_period − setup − arrival`` with the endpoint cell's
+        setup requirement derated by the corner's delay factor.
+        """
+        pins = self.sample.endpoint_pins
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, pred in zip(self.corners, stack):
+            slack = self._required(name) - pred
+            out[name] = {
+                "corner": name,
+                "predictions": {int(p): float(v)
+                                for p, v in zip(pins, pred)},
+                "wns": float(slack.min()) if len(slack) else 0.0,
+                "tns": float(np.minimum(slack, 0.0).sum()),
+            }
+        return out
+
+    def _required(self, corner: str) -> np.ndarray:
+        """Per-endpoint required time at *corner* (recomputed per call —
+        a resize edit can change an endpoint register's setup time)."""
+        from repro.timing.corners import resolve_corner
+
+        factor = resolve_corner(corner).delay_factor
+        nl = self.netlist
+        req = np.empty(len(self.sample.endpoint_pins))
+        for i, pid in enumerate(self.sample.endpoint_pins):
+            pin = nl.pins[int(pid)]
+            setup = 0.0
+            if pin.cell is not None:
+                setup = nl.library.cell(
+                    nl.cells[pin.cell].type_name).setup_time
+            req[i] = self.clock_period - setup * factor
+        return req
 
     def _apply(self, edits: Sequence[Edit]) -> List[Edit]:
         """Mutate netlist/placement/STA, mark dirty; return inverses."""
@@ -369,6 +536,13 @@ class DesignSession:
     def _refresh(self) -> None:
         self.featurizer.refresh()
         self.sta.refresh()
+
+
+def _worst_of(reports: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """The worst-corner summary block: smallest WNS across corners."""
+    worst = min(reports.values(), key=lambda r: r["wns"])
+    return {"corner": worst["corner"], "wns": worst["wns"],
+            "tns": worst["tns"]}
 
 
 def _remaining(t_end: Optional[float]) -> Optional[float]:

@@ -62,7 +62,8 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
     from repro.ml.plancache import configure_plan_cache
     from repro.serve.batcher import MicroBatcher
     from repro.serve.dispatch import RequestDispatcher
-    from repro.serve.session import DesignSession, Edit
+    from repro.serve.factory import SessionFactory
+    from repro.serve.session import DesignSession
     from repro.serve.shm import attach_artifact
 
     # The parent coordinates shutdown over the pipe (drain → stop).
@@ -139,22 +140,22 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
             metrics.counter("serve.worker.errors").inc()
         send(("response", rid, status, payload))
 
+    # Shared read-only weights need no per-session model copies: the
+    # batcher serializes access when batching is on; otherwise each
+    # session gets its own module instances (caches are per-module,
+    # weights still alias the shared segment).
+    def acquire_predictor() -> TimingPredictor:
+        own = TimingPredictor.from_artifact(payload, source="<shm>",
+                                            share_state=True)
+        if precision != own.precision:
+            own.set_precision(precision)
+        return own
+
+    factory = SessionFactory(acquire_predictor, batcher=batcher,
+                             corners=config.get("corners"))
+
     def open_design(design: str, flow, seed: int, replay) -> None:
-        # Shared read-only weights need no per-session model copies: the
-        # batcher serializes access when batching is on; otherwise each
-        # session gets its own module instances (caches are per-module,
-        # weights still alias the shared segment).
-        if batcher is not None:
-            session = DesignSession(flow, predictor, seed=seed,
-                                    infer=batcher.submit)
-        else:
-            own = TimingPredictor.from_artifact(payload, source="<shm>",
-                                                share_state=True)
-            if precision != own.precision:
-                own.set_precision(precision)
-            session = DesignSession(flow, own, seed=seed)
-        for batch in replay or []:
-            session.apply([Edit.from_dict(e) for e in batch])
+        session = factory.open(flow, seed=seed, replay=replay)
         # Publish only once fully materialized (journal replayed).
         dispatcher.sessions[design] = session
         sessions[design] = session

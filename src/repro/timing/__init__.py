@@ -8,6 +8,14 @@ from repro.timing.graph import (
     build_timing_graph,
 )
 from repro.timing.constraints import TimingConstraints, parse_sdc
+from repro.timing.corners import (
+    BASE_CORNER,
+    STANDARD_CORNERS,
+    Corner,
+    CornerSet,
+    derate_library,
+    resolve_corner,
+)
 from repro.timing.incremental import IncrementalSTA
 from repro.timing.nldm import BatchNLDM, batch_nldm_for
 from repro.timing.report import (
@@ -33,6 +41,12 @@ __all__ = [
     "build_timing_graph",
     "TimingConstraints",
     "parse_sdc",
+    "BASE_CORNER",
+    "STANDARD_CORNERS",
+    "Corner",
+    "CornerSet",
+    "derate_library",
+    "resolve_corner",
     "IncrementalSTA",
     "BatchNLDM",
     "batch_nldm_for",

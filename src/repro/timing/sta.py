@@ -102,12 +102,19 @@ def _argmax_per_dst(cand: np.ndarray, dst: np.ndarray,
 
 def run_sta(graph: TimingGraph, wires: WireLengthProvider,
             clock_period: float,
-            constraints: "TimingConstraints" = None) -> STAResult:
+            constraints: "TimingConstraints" = None,
+            corner=None) -> STAResult:
     """Run a full arrival-time propagation over *graph*.
 
     ``constraints`` optionally adds SDC-style input/output delays; its
     clock period, if provided, must agree with *clock_period* (pass
     ``constraints.clock_period`` explicitly to avoid surprises).
+
+    ``corner`` optionally times the graph at a derated PVT corner (a
+    :class:`~repro.timing.corners.Corner` or a registered corner name);
+    ``None`` and identity corners use the netlist's nominal library
+    unchanged — the same object, so results stay bit-identical to a
+    corner-less call.
 
     Each run emits an ``sta.run`` tracer span and bumps the ``sta.runs``
     / ``sta.nldm_lookups`` counters.  The instrumentation lives in this
@@ -116,7 +123,8 @@ def run_sta(graph: TimingGraph, wires: WireLengthProvider,
     """
     with get_tracer().span("sta.run", design=graph.netlist.name,
                            n_nodes=graph.n_nodes):
-        result = _run_sta_impl(graph, wires, clock_period, constraints)
+        result = _run_sta_impl(graph, wires, clock_period, constraints,
+                               corner=corner)
     metrics = get_metrics()
     metrics.counter("sta.runs").inc()
     metrics.counter("sta.nldm_lookups").inc(len(graph.cell_edge_src))
@@ -125,9 +133,15 @@ def run_sta(graph: TimingGraph, wires: WireLengthProvider,
 
 def _run_sta_impl(graph: TimingGraph, wires: WireLengthProvider,
                   clock_period: float,
-                  constraints: "TimingConstraints" = None) -> STAResult:
+                  constraints: "TimingConstraints" = None,
+                  corner=None) -> STAResult:
     nl = graph.netlist
-    lib = nl.library
+    if corner is None:
+        lib = nl.library
+    else:
+        from repro.timing.corners import derate_library
+
+        lib = derate_library(nl.library, corner)
     nldm = batch_nldm_for(lib)
     n = graph.n_nodes
 

@@ -1,0 +1,120 @@
+"""Differential battery: ``--corners base`` must equal the pre-MMMC path.
+
+Three guarantees, each pinned hard:
+
+* **Cache keys.**  ``FlowConfig.fingerprint()`` excludes ``corners``
+  entirely, and the base corner's dataset cache file carries no corner
+  tag — the exact hex fingerprints of the configurations every cached
+  artifact in the wild was built under are asserted verbatim, so any
+  accidental key change fails loudly instead of silently re-building.
+* **Flow outputs.**  A base-only corner config produces the *same
+  object* as the nominal sign-off STA; multi-corner configs add derated
+  runs without perturbing it.
+* **Samples.**  Corner views share every feature array with the base
+  sample and differ only in identity + labels; the base view's labels
+  are bit-identical to a corner-unaware build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig, run_flow
+from repro.ml.dataset import (
+    build_corner_samples,
+    build_sample,
+    sample_cache_path,
+)
+
+# The fingerprints of the flow configurations used throughout the test
+# suite and benchmarks, frozen before MMMC landed.  If any of these
+# change, every on-disk dataset cache in existence is invalidated —
+# which is exactly the regression this test exists to catch.
+_FROZEN_FINGERPRINTS = {
+    (): "cdb8b81cfcee4c78",
+    (("scale", 0.25), ("base_seed", 0)): "50e2c34be3065089",
+    (("base_seed", 1),): "68e9e724f4b45bbb",
+    (("scale", 0.25), ("base_seed", 0),
+     ("with_opt", False)): "0a81ec2ba312ffcb",
+}
+
+
+@pytest.mark.parametrize("kwargs,expected",
+                         [(dict(k), v)
+                          for k, v in _FROZEN_FINGERPRINTS.items()])
+def test_fingerprints_frozen(kwargs, expected):
+    assert FlowConfig(**kwargs).fingerprint() == expected
+
+
+def test_corners_excluded_from_fingerprint():
+    base = FlowConfig(scale=0.25, base_seed=0)
+    for corners in (("base",), ("fast", "typ", "slow"), ("slow",)):
+        cfg = FlowConfig(scale=0.25, base_seed=0, corners=corners)
+        assert cfg.fingerprint() == base.fingerprint()
+
+
+def test_base_cache_path_has_no_corner_tag(tmp_path):
+    cfg = FlowConfig(scale=0.25, base_seed=0)
+    base = sample_cache_path(tmp_path, "xgate", cfg, 32, 0)
+    explicit = sample_cache_path(tmp_path, "xgate", cfg, 32, 0,
+                                 corner="base")
+    assert base == explicit
+    assert "@" not in base.name
+    slow = sample_cache_path(tmp_path, "xgate", cfg, 32, 0, corner="slow")
+    assert slow.name.startswith("xgate@slow_")
+    assert slow != base
+
+
+def test_base_only_flow_aliases_nominal_signoff(tiny_flow):
+    # The suite-wide tiny_flow is built with the *default* config — its
+    # corner_signoff must hold exactly the base alias, same object.
+    assert tiny_flow.corner_names == ("base",)
+    assert tiny_flow.signoff_at() is tiny_flow.signoff_sta
+    assert tiny_flow.signoff_at("base") is tiny_flow.signoff_sta
+    with pytest.raises(ValueError):
+        tiny_flow.signoff_at("slow")
+
+
+@pytest.fixture(scope="module")
+def corner_flow():
+    return run_flow("xgate", FlowConfig(
+        scale=0.25, base_seed=0, corners=("base", "fast", "slow")))
+
+
+def test_multi_corner_flow_keeps_base_identical(corner_flow, tiny_flow):
+    assert corner_flow.corner_names == ("base", "fast", "slow")
+    assert corner_flow.signoff_at("base") is corner_flow.signoff_sta
+    # The physical flow is byte-identical to the corner-unaware run.
+    np.testing.assert_array_equal(corner_flow.signoff_sta.arrival,
+                                  tiny_flow.signoff_sta.arrival)
+    assert corner_flow.endpoint_labels() == tiny_flow.endpoint_labels()
+    # Derated corners bracket the base one.
+    assert (corner_flow.signoff_at("slow").wns
+            < corner_flow.signoff_sta.wns
+            < corner_flow.signoff_at("fast").wns)
+
+
+def test_corner_samples_share_arrays_and_differ_in_labels(corner_flow):
+    samples = build_corner_samples(corner_flow, map_bins=32, seed=0)
+    base, fast, slow = samples
+    assert [s.corner for s in samples] == ["base", "fast", "slow"]
+    assert [s.corner_index for s in samples] == [0, 1, 2]
+    # Views: every feature array is shared by reference.
+    for view in (fast, slow):
+        assert view.x_cell is base.x_cell
+        assert view.x_net is base.x_net
+        assert view.layout_stack is base.layout_stack
+        assert view.endpoint_pins is base.endpoint_pins
+        assert view.plans is base.plans
+    # Labels are per-corner and ordered slow > base > fast.
+    assert np.all(slow.y > base.y)
+    assert np.all(fast.y < base.y)
+
+
+def test_base_corner_sample_bit_identical(corner_flow, tiny_flow):
+    via_corners = build_corner_samples(corner_flow, map_bins=32, seed=0)[0]
+    plain = build_sample(tiny_flow, map_bins=32, seed=0)
+    np.testing.assert_array_equal(via_corners.y, plain.y)
+    np.testing.assert_array_equal(via_corners.x_cell, plain.x_cell)
+    np.testing.assert_array_equal(via_corners.x_net, plain.x_net)
+    assert via_corners.corner == plain.corner == "base"
+    assert via_corners.corner_index == plain.corner_index == 0

@@ -295,3 +295,62 @@ def test_predict_batch_matches_predict(tiny_samples):
         assert arr.shape == (s.n_endpoints,)
         np.testing.assert_allclose(arr, predictor.predict_array(s),
                                    rtol=1e-9, atol=0.0)
+
+
+# ---------------------------------------------------------------------------
+# multi-corner packing: corners are just extra samples in the pack
+
+
+def _corner_model(seed=0):
+    return RestructureTolerantModel(
+        ModelConfig(variant="full", hidden=8, layout_embed=8,
+                    regressor_hidden=16, map_bins=32, seed=seed,
+                    corner_names=("fast", "typ", "slow")))
+
+
+def _corner_views(sample, names):
+    return [sample.corner_view(name, idx, y=sample.y)
+            for idx, name in enumerate(names)]
+
+
+def test_multi_corner_packed_equals_per_corner_loop(tiny_samples, rng):
+    """One packed forward over every (design, corner) pair must agree
+    with the per-corner loop — the contract the serve path's all-corner
+    what-if relies on."""
+    model = _corner_model()
+    _jitter(model, rng)
+    names = ("fast", "typ", "slow")
+    views = [v for s in tiny_samples for v in _corner_views(s, names)]
+
+    singles = []
+    for v in views:
+        singles.append(
+            PackedBatch.pack([v]).split_endpoint_array(
+                model.forward_batch(PackedBatch.pack([v])))[0])
+        model.drain_caches()
+
+    batch = PackedBatch.pack(views)
+    assert batch.corner_ids.tolist() == [0, 1, 2, 0, 1, 2]
+    packed = batch.split_endpoint_array(model.forward_batch(batch))
+    model.drain_caches()
+    for single, part in zip(singles, packed):
+        np.testing.assert_allclose(part, single, rtol=1e-9, atol=0.0)
+
+
+def test_corner_embedding_conditions_the_output(tiny_sample, rng):
+    """Same features, different corner id -> different predictions (the
+    embedding rows are distinct), while a single-corner model has no
+    embedding at all and is corner-blind."""
+    model = _corner_model()
+    _jitter(model, rng)
+    views = _corner_views(tiny_sample, ("fast", "typ", "slow"))
+    batch = PackedBatch.pack(views)
+    parts = batch.split_endpoint_array(model.forward_batch(batch))
+    model.drain_caches()
+    assert not np.allclose(parts[0], parts[1])
+    assert not np.allclose(parts[1], parts[2])
+
+    base_model = _small_model()
+    assert base_model.corner_embedding is None
+    n_corner_params = len(model.parameters()) - len(base_model.parameters())
+    assert n_corner_params == 1  # exactly the embedding table

@@ -222,7 +222,7 @@ def test_inference_mode_with_explicit_workspace(fitted, tiny_samples):
 
 
 # ----------------------------------------------------------------------
-# Artifact round trip (schema v3)
+# Artifact round trip (schema v4)
 # ----------------------------------------------------------------------
 def test_int8_artifact_round_trip(fitted, tiny_samples):
     fitted.set_precision("int8")
@@ -230,7 +230,7 @@ def test_int8_artifact_round_trip(fitted, tiny_samples):
         ref = [np.array(a)
                for a in fitted.predict_batch_arrays(tiny_samples)]
         payload = fitted.to_artifact()
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["precision"] == "int8"
         assert any(isinstance(e, dict) for e in payload["state"])
         clone = TimingPredictor.from_artifact(payload)

@@ -1,0 +1,273 @@
+"""Multi-corner serving API: negotiation, typed schemas, MMMC what-ifs.
+
+Covers the v1/v2 negotiation rules from :mod:`repro.serve.api`, the
+corner-aware dispatcher responses, ``SessionFactory`` wiring, and the
+acceptance contract: one ``/whatif`` answers every served corner in a
+single packed forward, bit-identical between the in-process dispatcher
+and a worker fleet.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TimingPredictor, TrainerConfig
+from repro.flow import FlowConfig, run_flow
+from repro.ml.dataset import build_corner_samples
+from repro.serve import (
+    FleetConfig,
+    MicroBatcher,
+    PredictorRegistry,
+    RequestDispatcher,
+    SessionFactory,
+    TimingFleet,
+    TimingGateway,
+    api,
+)
+from repro.serve.api import ApiError
+
+from tests.serve.conftest import MAP_BINS, http_call
+
+CORNERS = ("fast", "typ", "slow")
+CORNER_FLOW_CONFIG = FlowConfig(scale=0.25, base_seed=0, corners=CORNERS)
+EDIT = {"op": "move", "cell": 1, "x": 2.0, "y": 2.0}
+
+
+# ---------------------------------------------------------------------------
+# api module: negotiation rules
+
+
+def test_negotiate_version_defaults_to_current():
+    assert api.negotiate_version(None) == api.CURRENT_API_VERSION
+    assert api.negotiate_version({}) == api.CURRENT_API_VERSION
+    assert api.negotiate_version(
+        {"api_version": "v2"}) == api.CURRENT_API_VERSION
+
+
+def test_negotiate_version_rejects_unknown():
+    with pytest.raises(ApiError) as exc:
+        api.negotiate_version({"api_version": "v9"})
+    assert exc.value.status == 400
+    assert exc.value.code == "unsupported_api_version"
+
+
+def test_legacy_pin_warns_once(monkeypatch):
+    monkeypatch.setattr(api, "_warned_legacy", False)
+    with pytest.warns(DeprecationWarning):
+        assert api.negotiate_version({"api_version": "v1"}) == "v1"
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise
+        assert api.negotiate_version({"api_version": "v1"}) == "v1"
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+def test_corner_field_rejected_under_v1():
+    with pytest.raises(ApiError) as exc:
+        api.PredictRequest.parse({"api_version": "v1", "corner": "fast"})
+    assert exc.value.status == 400
+    assert "v1 is corner-unaware" in exc.value.message
+
+
+def test_corner_field_must_be_string():
+    with pytest.raises(ApiError):
+        api.WhatifRequest.parse({"edits": [EDIT], "corner": 3})
+
+
+def test_advertised_version():
+    assert api.advertised_version(None) == "v1"
+    assert api.advertised_version(("base",)) == "v1"
+    assert api.advertised_version(CORNERS) == "v2"
+
+
+def test_request_parse_preserves_legacy_errors():
+    with pytest.raises(ApiError, match="'endpoints' must be a list"):
+        api.PredictRequest.parse({"endpoints": 3})
+    with pytest.raises(ApiError, match="'edits' must be a non-empty list"):
+        api.WhatifRequest.parse({"edits": []})
+
+
+# ---------------------------------------------------------------------------
+# corner-aware dispatcher (in-process)
+
+
+@pytest.fixture(scope="module")
+def corner_flow():
+    return run_flow("xgate", CORNER_FLOW_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def corner_predictor(corner_flow):
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=MAP_BINS, corner_names=CORNERS),
+        trainer_config=TrainerConfig(epochs=2))
+    predictor.fit(build_corner_samples(corner_flow, map_bins=MAP_BINS,
+                                       seed=0))
+    return predictor
+
+
+@pytest.fixture
+def corner_dispatcher(corner_flow, corner_predictor):
+    factory = SessionFactory(lambda: corner_predictor, corners=CORNERS)
+    session = factory.open(pickle.loads(pickle.dumps(corner_flow)))
+    return RequestDispatcher({"xgate": session},
+                             model_info={"name": "corner"})
+
+
+def test_health_advertises_v2_and_corners(corner_dispatcher):
+    status, body = corner_dispatcher.handle_to_wire("GET", "/health", None)
+    assert status == 200
+    assert body["api_version"] == "v2"
+    assert body["corners"] == list(CORNERS)
+
+
+def test_designs_reports_served_corners(corner_dispatcher):
+    _, body = corner_dispatcher.handle_to_wire("GET", "/designs", None)
+    assert body["designs"]["xgate"]["corners"] == list(CORNERS)
+
+
+def test_predict_reports_every_corner(corner_dispatcher):
+    status, body = corner_dispatcher.handle_to_wire(
+        "POST", "/predict", {"design": "xgate"})
+    assert status == 200
+    assert sorted(body["corners"]) == sorted(CORNERS)
+    # Legacy block mirrors the primary (first) corner.
+    assert body["predictions"] == body["corners"]["fast"]["predictions"]
+    assert body["worst"]["corner"] == "slow"  # largest delay derate
+    for report in body["corners"].values():
+        assert report["wns"] <= 0 or report["tns"] == 0.0
+
+
+def test_predict_corner_selection(corner_dispatcher):
+    _, body = corner_dispatcher.handle_to_wire(
+        "POST", "/predict", {"design": "xgate", "corner": "slow"})
+    assert body["predictions"] == body["corners"]["slow"]["predictions"]
+
+
+def test_predict_unknown_corner_is_400(corner_dispatcher):
+    status, body = corner_dispatcher.handle_to_wire(
+        "POST", "/predict", {"design": "xgate", "corner": "warp"})
+    assert status == 400
+    assert body["error"]["code"] == "unknown_corner"
+
+
+def test_v1_pin_suppresses_corner_blocks(corner_dispatcher):
+    _, body = corner_dispatcher.handle_to_wire(
+        "POST", "/predict", {"api_version": "v1", "design": "xgate"})
+    assert "corners" not in body and "worst" not in body
+    _, body = corner_dispatcher.handle_to_wire(
+        "POST", "/whatif",
+        {"api_version": "v1", "design": "xgate", "edits": [EDIT]})
+    assert "corners" not in body and "worst" not in body
+    assert set(body) == {"design", "revision", "committed", "predictions",
+                         "pre_route", "shift", "latency_ms"}
+
+
+def test_whatif_reports_every_corner(corner_dispatcher):
+    status, body = corner_dispatcher.handle_to_wire(
+        "POST", "/whatif", {"design": "xgate", "edits": [EDIT]})
+    assert status == 200
+    assert sorted(body["corners"]) == sorted(CORNERS)
+    assert body["predictions"] == body["corners"]["fast"]["predictions"]
+    assert body["worst"]["corner"] in CORNERS
+    assert (body["corners"]["slow"]["wns"]
+            <= body["corners"]["typ"]["wns"]
+            <= body["corners"]["fast"]["wns"])
+
+
+def test_whatif_commit_keeps_corner_baselines(corner_dispatcher):
+    _, first = corner_dispatcher.handle_to_wire(
+        "POST", "/whatif",
+        {"design": "xgate", "edits": [EDIT], "commit": True})
+    assert first["committed"] and first["revision"] == 1
+    # A post-commit predict must serve the committed multi-corner state.
+    _, pred = corner_dispatcher.handle_to_wire(
+        "POST", "/predict", {"design": "xgate"})
+    assert pred["revision"] == 1
+    assert pred["corners"] == first["corners"]
+
+
+def test_session_rejects_unknown_corner_names(corner_flow,
+                                              corner_predictor):
+    factory = SessionFactory(lambda: corner_predictor,
+                             corners=("fast", "base"))
+    with pytest.raises(ValueError, match="base"):
+        factory.open(pickle.loads(pickle.dumps(corner_flow)))
+
+
+def test_registry_meta_includes_corners(corner_predictor,
+                                        served_predictor):
+    registry = PredictorRegistry()
+    meta = registry.register_predictor("mmmc", corner_predictor)
+    assert meta["corners"] == list(CORNERS)
+    meta = registry.register_predictor("single", served_predictor)
+    assert "corners" not in meta
+
+
+# ---------------------------------------------------------------------------
+# one packed forward for all corners; workers-0 == fleet, bit-identical
+
+
+def test_all_corner_whatif_is_one_packed_forward(corner_flow,
+                                                 corner_predictor):
+    batcher = MicroBatcher(corner_predictor, max_batch=8, max_wait_s=1e-3)
+    try:
+        factory = SessionFactory(lambda: corner_predictor, batcher=batcher,
+                                 corners=CORNERS)
+        session = factory.open(pickle.loads(pickle.dumps(corner_flow)))
+        session.predict()  # warm the baseline stack
+        before = batcher.batches_run
+        result = session.whatif([EDIT])
+        # One call = one packed forward covering all three corners.
+        assert batcher.batches_run - before == 1
+        assert sorted(result["corners"]) == sorted(CORNERS)
+    finally:
+        batcher.stop()
+
+
+def test_multi_corner_fleet_matches_in_process(corner_flow,
+                                               corner_predictor,
+                                               corner_dispatcher):
+    stream = [
+        ("POST", "/predict", {"design": "xgate"}),
+        ("POST", "/whatif", {"design": "xgate", "edits": [EDIT]}),
+        ("POST", "/whatif", {"design": "xgate", "edits": [EDIT],
+                             "corner": "slow", "commit": True}),
+        ("POST", "/predict", {"design": "xgate", "corner": "typ"}),
+        ("POST", "/predict", {"design": "xgate", "corner": "warp"}),
+    ]
+    inproc = []
+    for method, path, body in stream:
+        status, payload = corner_dispatcher.handle_to_wire(
+            method, path, dict(body))
+        inproc.append((status, _stable(payload)))
+
+    fleet = TimingFleet(
+        corner_predictor.to_artifact(), {"xgate": corner_flow},
+        FleetConfig(workers=2, threads=2, microbatch=4, deadline_s=20.0,
+                    queue_depth=8, corners=CORNERS)).start()
+    gateway = TimingGateway(fleet, port=0).start()
+    try:
+        status, _, health = http_call(gateway.address, "GET", "/health")
+        assert health["api_version"] == "v2"
+        assert health["corners"] == list(CORNERS)
+        for (method, path, body), (want_status, want) in zip(stream,
+                                                             inproc):
+            status, _, payload = http_call(gateway.address, method, path,
+                                           dict(body))
+            assert status == want_status, (path, payload)
+            assert _stable(payload) == want, path
+    finally:
+        gateway.stop(drain_timeout_s=15.0)
+
+
+def _stable(payload):
+    """Strip volatile fields (latency) for bit-exact comparison."""
+    if isinstance(payload, dict):
+        return {k: _stable(v) for k, v in payload.items()
+                if k != "latency_ms"}
+    return payload

@@ -84,7 +84,7 @@ class TestBatcherTimeout:
             batcher.stop()
 
     def test_abandoned_flag_set(self):
-        pending = _Pending(sample=None)
+        pending = _Pending(samples=[None], multi=False)
         assert pending.abandoned is False
 
 

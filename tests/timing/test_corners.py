@@ -1,0 +1,157 @@
+"""Tests for MMMC corners (repro.timing.corners).
+
+The load-bearing contracts:
+
+* the base corner is a *true identity* — ``derate_library`` returns the
+  same object and ``run_sta(corner="base")`` is bit-identical to the
+  corner-unaware call (the differential guarantee every pre-MMMC cache
+  and serve path relies on);
+* derating is physically sensible — slow arrivals dominate base, base
+  dominates fast, and non-delay quantities (caps, area) are untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.liberty import CellLibrary
+from repro.timing import (
+    BASE_CORNER,
+    STANDARD_CORNERS,
+    Corner,
+    CornerSet,
+    PreRouteEstimator,
+    build_timing_graph,
+    derate_library,
+    resolve_corner,
+    run_sta,
+)
+
+
+# ---------------------------------------------------------------------------
+# Corner / CornerSet
+
+
+def test_corner_delay_factor():
+    assert BASE_CORNER.delay_factor == 1.0
+    assert STANDARD_CORNERS["typ"].delay_factor == 1.0
+    assert STANDARD_CORNERS["fast"].delay_factor < 1.0
+    assert STANDARD_CORNERS["slow"].delay_factor > 1.0
+    c = Corner("c", voltage_scale=2.0, temp_scale=1.0)
+    assert c.delay_factor == pytest.approx(0.25)
+
+
+def test_corner_validation():
+    with pytest.raises(ValueError):
+        Corner("")
+    with pytest.raises(ValueError):
+        Corner("a,b")
+    with pytest.raises(ValueError):
+        Corner("c", voltage_scale=0.0)
+
+
+def test_corner_set_parse_spec():
+    cs = CornerSet.parse("fast,typ,slow")
+    assert cs.names == ("fast", "typ", "slow")
+    assert cs.primary.name == "fast"
+    assert len(cs) == 3
+    assert "typ" in cs and "base" not in cs
+    assert cs.index("slow") == 2
+    with pytest.raises(KeyError):
+        cs.index("base")
+
+
+def test_corner_set_parse_defaults_to_base():
+    for spec in (None, "", []):
+        cs = CornerSet.parse(spec)
+        assert cs.names == ("base",)
+        assert cs.is_base_only
+
+
+def test_corner_set_rejects_unknown_and_duplicates():
+    with pytest.raises(ValueError):
+        CornerSet.parse("fast,warp")
+    with pytest.raises(ValueError):
+        CornerSet((BASE_CORNER, BASE_CORNER))
+
+
+def test_resolve_corner():
+    assert resolve_corner(None) is BASE_CORNER
+    assert resolve_corner("slow") is STANDARD_CORNERS["slow"]
+    assert resolve_corner(BASE_CORNER) is BASE_CORNER
+    with pytest.raises(ValueError):
+        resolve_corner("warp")
+
+
+# ---------------------------------------------------------------------------
+# Library derating
+
+
+def test_identity_corners_return_same_library_object():
+    lib = CellLibrary.default()
+    assert derate_library(lib, None) is lib
+    assert derate_library(lib, "base") is lib
+    assert derate_library(lib, "typ") is lib  # factor exactly 1.0
+
+
+def test_derated_library_is_cached():
+    lib = CellLibrary.default()
+    slow1 = derate_library(lib, "slow")
+    slow2 = derate_library(lib, "slow")
+    assert slow1 is not lib
+    assert slow1 is slow2
+
+
+def test_derate_scales_delay_not_cap():
+    lib = CellLibrary.default()
+    factor = STANDARD_CORNERS["slow"].delay_factor
+    for name in lib.cell_names():
+        base, slow = lib.cell(name), derate_library(lib, "slow").cell(name)
+        assert slow.input_cap == base.input_cap
+        assert slow.area == base.area
+        assert slow.intrinsic_delay == pytest.approx(
+            base.intrinsic_delay * factor)
+        assert slow.setup_time == pytest.approx(base.setup_time * factor)
+        if base.delay_table is not None:
+            np.testing.assert_allclose(
+                slow.delay_table.values, base.delay_table.values * factor)
+            # index axes are untouched
+            np.testing.assert_array_equal(
+                slow.delay_table.load_axis, base.delay_table.load_axis)
+            np.testing.assert_array_equal(
+                slow.delay_table.slew_axis, base.delay_table.slew_axis)
+
+
+# ---------------------------------------------------------------------------
+# STA differential / monotonicity
+
+
+def _sta_at(nl, pl, corner=None):
+    return run_sta(build_timing_graph(nl), PreRouteEstimator(nl, pl),
+                   clock_period=1000.0, corner=corner)
+
+
+def test_base_corner_sta_bit_identical(tiny_placed):
+    nl, pl = tiny_placed
+    plain = _sta_at(nl, pl)
+    base = _sta_at(nl, pl, corner="base")
+    np.testing.assert_array_equal(plain.arrival, base.arrival)
+    np.testing.assert_array_equal(plain.slew, base.slew)
+    assert plain.endpoint_slack == base.endpoint_slack
+    assert plain.wns == base.wns and plain.tns == base.tns
+
+
+def test_corner_sta_monotonicity(tiny_placed):
+    nl, pl = tiny_placed
+    base = _sta_at(nl, pl)
+    fast = _sta_at(nl, pl, corner="fast")
+    slow = _sta_at(nl, pl, corner="slow")
+    # Wire RC is not derated (corners scale the *cell library*), so
+    # wire-only arrivals are equal across corners — hence >= / <= with
+    # strict ordering demanded at the endpoints.
+    finite = np.isfinite(base.arrival) & (base.arrival > 0.0)
+    assert np.all(slow.arrival[finite] >= base.arrival[finite])
+    assert np.all(fast.arrival[finite] <= base.arrival[finite])
+    for pid, arr in base.endpoint_arrival.items():
+        assert slow.endpoint_arrival[pid] > arr
+        assert fast.endpoint_arrival[pid] < arr
+    assert slow.wns < base.wns < fast.wns
