@@ -26,6 +26,20 @@ def artifacts_dir() -> Path:
     return ARTIFACTS
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_tracing():
+    """Keep the in-memory tracer on for the whole benchmark session.
+
+    Every instrumented op (flow stages, ``model.pre``, ``model.infer``,
+    NLDM batches, ...) records a span; :func:`emit_bench` folds the
+    spans recorded since the previous emit into each benchmark's JSON
+    artifact as op-level numbers.
+    """
+    from repro.obs import configure_tracing
+
+    return configure_tracing(enabled=True)
+
+
 @pytest.fixture(scope="session")
 def train_samples():
     """The five training designs (cached flows)."""
@@ -64,6 +78,31 @@ BENCH_OUT = Path(__file__).resolve().parent.parent / "data" / "bench"
 #: Prior headline entries carried forward per benchmark artifact.
 BENCH_HISTORY = 8
 
+#: Index of the first tracer event not yet folded into an artifact.
+_ops_cursor = 0
+
+
+def _drain_ops():
+    """Aggregate tracer spans recorded since the previous ``emit_bench``.
+
+    Returns a per-span-name dict (count / total / mean / max seconds) or
+    ``None`` when nothing was traced — so each artifact carries the
+    op-level numbers of *its own* benchmark, not the whole session.
+    """
+    global _ops_cursor
+    from repro.obs import aggregate_trace, get_tracer
+
+    events = get_tracer().events()
+    fresh, _ops_cursor = events[_ops_cursor:], len(events)
+    if not fresh:
+        return None
+    report = aggregate_trace(fresh)
+    return {name: {"count": st.count,
+                   "total_s": round(st.total_s, 6),
+                   "mean_s": round(st.mean_s, 6),
+                   "max_s": round(st.max_s, 6)}
+            for name, st in sorted(report.stages.items())}
+
 
 def emit_bench(name: str, payload: dict) -> Path:
     """Write a benchmark's headline numbers to ``BENCH_<name>.json``.
@@ -76,6 +115,10 @@ def emit_bench(name: str, payload: dict) -> Path:
     logged and overwritten rather than crashing the run.  The previous
     run's headline numbers are carried forward under ``history`` (most
     recent first, bounded) so a single artifact shows the trend.
+
+    Op-level numbers ride along under ``ops``: tracer spans recorded
+    since the previous emit, aggregated per span name (see
+    :func:`_drain_ops`).  A payload may pre-set ``ops`` to override.
     """
     import platform
     import time
@@ -85,6 +128,9 @@ def emit_bench(name: str, payload: dict) -> Path:
     BENCH_OUT.mkdir(parents=True, exist_ok=True)
     out = dict(payload)
     out.setdefault("bench", name)
+    ops = _drain_ops()
+    if ops and "ops" not in out:
+        out["ops"] = ops
     out.setdefault("unix_time", time.time())
     out.setdefault("python", platform.python_version())
     try:
@@ -96,7 +142,10 @@ def emit_bench(name: str, payload: dict) -> Path:
     path = BENCH_OUT / f"BENCH_{name}.json"
     prior = load_json_or_none(path, get_logger("bench.emit"))
     if isinstance(prior, dict):
-        history = [{k: v for k, v in prior.items() if k != "history"}]
+        # Headline numbers only: the per-run ``ops`` block is bulky and
+        # reproducible from the run's own artifact.
+        history = [{k: v for k, v in prior.items()
+                    if k not in ("history", "ops")}]
         history += list(prior.get("history", []))
         out["history"] = history[:BENCH_HISTORY]
     atomic_json_dump(out, path)

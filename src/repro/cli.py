@@ -50,8 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="build designs in N parallel worker processes")
     p_ds.add_argument("--corners", default=None,
                       help="comma-separated sign-off corners (e.g. "
-                           "fast,typ,slow); each design contributes one "
-                           "sample per corner (default: base only)")
+                           "fast,typ,slow or a custom name:V:T triple "
+                           "like ff_0p99v:1.08:0.92); each design "
+                           "contributes one sample per corner "
+                           "(default: base only)")
+    p_ds.add_argument("--partition-pins", type=int, default=None,
+                      help="stream featurization over graph chunks of "
+                           "at most N pins (default: whole-graph)")
 
     p_tr = sub.add_parser("train", help="train and save a predictor")
     p_tr.add_argument("--variant", choices=("full", "gnn", "cnn"),
@@ -66,8 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--cache", type=Path, default=DEFAULT_CACHE)
     p_tr.add_argument("--corners", default=None,
                       help="train a corner-conditioned model on these "
-                           "sign-off corners (e.g. fast,typ,slow); the "
-                           "model learns one embedding per corner")
+                           "sign-off corners (names or name:V:T "
+                           "triples); the model learns one embedding "
+                           "per corner")
+    p_tr.add_argument("--partition-pins", type=int, default=None,
+                      help="stream dataset featurization over graph "
+                           "chunks of at most N pins")
 
     p_pr = sub.add_parser("predict", help="predict a design's endpoints")
     p_pr.add_argument("design")
@@ -79,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="predict at these sign-off corners in one "
                            "packed forward (must be a subset of the "
                            "model's corners)")
+    p_pr.add_argument("--partition-pins", type=int, default=None,
+                      help="stream featurization and inference over "
+                           "graph chunks of at most N pins "
+                           "(bit-identical to whole-graph)")
 
     p_srv = sub.add_parser(
         "serve",
@@ -129,9 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evict design sessions idle longer than "
                             "this many seconds (default: never)")
     p_srv.add_argument("--corners", default=None,
-                       help="serve these sign-off corners (e.g. "
-                            "fast,typ,slow); one /whatif then answers "
-                            "every corner in a single packed forward")
+                       help="serve these sign-off corners (names or "
+                            "custom name:V:T triples, e.g. "
+                            "base,ff_0p99v:1.08:0.92); one /whatif then "
+                            "answers every corner in a single packed "
+                            "forward")
+    p_srv.add_argument("--partition-pins", type=int, default=None,
+                       help="stream session featurization and inference "
+                            "over graph chunks of at most N pins "
+                            "(bit-identical to whole-graph)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -204,13 +223,16 @@ def cmd_report(args) -> int:
 def cmd_dataset(args) -> int:
     from repro.flow import FlowConfig
     from repro.ml import build_dataset_report
-    from repro.netlist import DESIGN_PRESETS
+    from repro.netlist import PAPER_DESIGNS
 
     from repro.timing import CornerSet
 
-    designs = args.designs or sorted(DESIGN_PRESETS)
+    # Scale-tier presets (``large``) are bench-only: opt in by naming
+    # them explicitly (``--designs large``).
+    designs = args.designs or sorted(PAPER_DESIGNS)
     config = FlowConfig(base_seed=args.seed, scale=args.scale,
-                        corners=CornerSet.parse(args.corners).names)
+                        corners=CornerSet.parse(args.corners).specs,
+                        partition_pins=args.partition_pins)
     samples, report = build_dataset_report(
         designs, flow_config=config, cache_dir=args.cache, seed=args.seed,
         jobs=args.jobs)
@@ -231,14 +253,18 @@ def cmd_train(args) -> int:
     from repro.netlist import TRAIN_DESIGNS
     from repro.timing import CornerSet
 
-    corner_names = CornerSet.parse(args.corners).names
+    corner_set = CornerSet.parse(args.corners)
+    corner_names = corner_set.names
     train = build_dataset(list(TRAIN_DESIGNS),
-                          flow_config=FlowConfig(corners=corner_names),
+                          flow_config=FlowConfig(
+                              corners=corner_set.specs,
+                              partition_pins=args.partition_pins),
                           cache_dir=args.cache)
     for seed in range(1, args.augment + 1):
         train += build_dataset(list(TRAIN_DESIGNS),
                                flow_config=FlowConfig(
-                                   base_seed=seed, corners=corner_names),
+                                   base_seed=seed, corners=corner_set.specs,
+                                   partition_pins=args.partition_pins),
                                cache_dir=args.cache, seed=seed)
     predictor = TimingPredictor(
         model_config=ModelConfig(variant=args.variant,
@@ -265,7 +291,9 @@ def cmd_predict(args) -> int:
     from repro.timing import CornerSet
 
     predictor = TimingPredictor.load(args.model)
-    corner_names = CornerSet.parse(args.corners).names
+    predictor.set_partition(args.partition_pins)
+    corner_set = CornerSet.parse(args.corners)
+    corner_names = corner_set.names
     if len(corner_names) > 1:
         model_corners = predictor.model_config.corner_names
         unknown = [c for c in corner_names if c not in model_corners]
@@ -275,7 +303,8 @@ def cmd_predict(args) -> int:
             return 1
         samples = build_dataset(
             [args.design],
-            flow_config=FlowConfig(corners=corner_names),
+            flow_config=FlowConfig(corners=corner_set.specs,
+                                   partition_pins=args.partition_pins),
             cache_dir=args.cache)
         # The dataset's corner indices follow the flow's corner order;
         # remap to the model's embedding indices before the forward.
@@ -297,7 +326,10 @@ def cmd_predict(args) -> int:
             for pin, val in ranked:
                 print(f"{pin:>12}  {val:>22.1f}")
         return 0
-    sample = build_dataset([args.design], cache_dir=args.cache)[0]
+    sample = build_dataset(
+        [args.design],
+        flow_config=FlowConfig(partition_pins=args.partition_pins),
+        cache_dir=args.cache)[0]
     by_pin = predictor.predict(sample)
     print(f"{args.design}: {len(by_pin)} endpoints, inference "
           f"{predictor.infer_times[args.design] * 1e3:.0f} ms")
@@ -333,9 +365,11 @@ def cmd_serve(args) -> int:
     )
     from repro.timing import CornerSet
 
-    corner_names = CornerSet.parse(args.corners).names
+    corner_set = CornerSet.parse(args.corners)
+    corner_names = corner_set.names
     flow_config = FlowConfig(scale=args.scale, base_seed=args.seed,
-                             corners=corner_names)
+                             corners=corner_set.specs,
+                             partition_pins=args.partition_pins)
     flows = {d: run_flow(d, flow_config) for d in args.designs}
 
     if args.plan_cache is not None:
@@ -365,7 +399,8 @@ def cmd_serve(args) -> int:
         map_bins = predictor.model_config.map_bins
         boot_samples = [s for f in flows.values()
                         for s in build_corner_samples(
-                            f, map_bins=map_bins, seed=args.seed)]
+                            f, map_bins=map_bins, seed=args.seed,
+                            partition_pins=args.partition_pins)]
         predictor.fit(boot_samples)
         registry.register_predictor("default", predictor)
 
@@ -381,7 +416,10 @@ def cmd_serve(args) -> int:
                         plan_cache_dir=(str(args.plan_cache)
                                         if args.plan_cache else None),
                         session_ttl_s=args.session_ttl,
-                        corners=corner_names),
+                        # Ship *specs*: workers re-parse them, which
+                        # re-registers any custom corners over there.
+                        corners=corner_set.specs,
+                        partition_pins=args.partition_pins),
             seeds={d: args.seed for d in flows}).start()
         gateway = TimingGateway(
             fleet, host=args.host, port=args.port,
@@ -397,7 +435,8 @@ def cmd_serve(args) -> int:
         gateway.serve_forever()
         return 0
 
-    samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed)
+    samples = {d: build_sample(f, map_bins=map_bins, seed=args.seed,
+                               partition_pins=args.partition_pins)
                for d, f in flows.items()}
 
     def acquire():
@@ -490,9 +529,9 @@ def cmd_profile(args) -> int:
 
 def cmd_table1(args) -> int:
     from repro.eval.experiments import format_table1, run_table1
-    from repro.netlist import DESIGN_PRESETS
+    from repro.netlist import PAPER_DESIGNS
 
-    print(format_table1(run_table1(sorted(DESIGN_PRESETS))))
+    print(format_table1(run_table1(sorted(PAPER_DESIGNS))))
     return 0
 
 

@@ -43,6 +43,7 @@ from repro.nn import (
     mlp,
     ws_empty,
 )
+from repro.timing.partition import stream_plan_for
 from repro.utils import require, spawn_rng
 
 VARIANTS = ("full", "gnn", "cnn")
@@ -147,12 +148,19 @@ class RestructureTolerantModel(Module):
         inference = not training
         parts = []
         if self.gnn is not None:
-            h = self.gnn.forward(batch, training=training)
-            if inference:
+            stream = stream_plan_for(batch) if inference else None
+            if stream is not None:
+                # Partitioned path: chunk-streamed level execution that
+                # returns endpoint rows directly (bit-identical to the
+                # monolithic forward; never builds the (n, h) table).
+                parts.append(self.gnn.forward_stream(batch, stream))
+            elif inference:
+                h = self.gnn.forward(batch, training=training)
                 # Plain np.take: the out= variant goes through numpy's
                 # buffered copy path and is ~2x slower than allocating.
                 parts.append(np.take(h, batch.endpoint_nodes, axis=0))
             else:
+                h = self.gnn.forward(batch, training=training)
                 parts.append(h[batch.endpoint_nodes])
         masks = None
         if self.cnn is not None:

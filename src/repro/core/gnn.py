@@ -31,7 +31,15 @@ import numpy as np
 
 from repro.ml.batch import plan_orders
 from repro.ml.sample import DesignSample
-from repro.nn import Module, Parameter, mlp, ws_empty
+from repro.nn import (
+    Module,
+    Parameter,
+    inference_mode,
+    mlp,
+    workspace,
+    ws_empty,
+)
+from repro.timing.partition import StreamPlan
 from repro.utils import require
 
 if TYPE_CHECKING:  # import cycle guard: repro.ml.batch imports repro.core
@@ -39,6 +47,35 @@ if TYPE_CHECKING:  # import cycle guard: repro.ml.batch imports repro.core
 
 #: Anything with the node-level sample interface the GNN consumes.
 SampleLike = Union[DesignSample, "PackedBatch"]
+
+#: The feature branches run in fixed tiles of the level-ordered row block,
+#: at *absolute* row offsets.  BLAS blocks a GEMM on the row count, so
+#: slicing rows out of a different-m call is not ulp-stable — tiling both
+#: execution paths at the same absolute boundaries means every feature row
+#: comes from an identical call no matter how the level schedule is
+#: chunked, which is what makes streamed execution bit-identical.
+FEAT_TILE = 4096
+
+
+def _feat_rows(branch: Module, x: np.ndarray, order: np.ndarray,
+               begin: int, end: int) -> np.ndarray:
+    """Rows ``[begin:end)`` of ``branch(x[order])``, in absolute tiles.
+
+    A caller that needs a sub-range (a stream chunk) recomputes at most
+    one boundary tile on each side — the price of exactness, bounded by
+    ``2 * FEAT_TILE`` rows per chunk.
+    """
+    if begin >= end:
+        return np.zeros((0, 0))
+    n = len(order)
+    parts = []
+    tb = (begin // FEAT_TILE) * FEAT_TILE
+    while tb < end:
+        te = min(tb + FEAT_TILE, n)
+        rows = branch.forward(np.take(x, order[tb:te], axis=0))
+        parts.append(rows[max(begin, tb) - tb:min(end, te) - tb])
+        tb += FEAT_TILE
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
 
 
 class EndpointGNN(Module):
@@ -124,18 +161,15 @@ class EndpointGNN(Module):
         big[level0] = self.source_emb.data
 
         # The feature branches f_c2/f_n see only node features, never the
-        # propagated state, so they run **once** over every level's rows
-        # in level order — one batched MLP call each instead of one small
-        # call per level.  Same per-row arithmetic; the level loop then
-        # just slices the precomputed rows.
-        if inference:
-            x_c = np.take(sample.x_cell, cell_order, axis=0)
-            x_n = np.take(sample.x_net, net_order, axis=0)
-        else:
-            x_c = sample.x_cell[cell_order]
-            x_n = sample.x_net[net_order]
-        feat_c = self.f_c2.forward(x_c)
-        feat_n = self.f_n.forward(x_n)
+        # propagated state, so they run hoisted over the level-ordered
+        # rows — in FEAT_TILE-row tiles (not one whole-block call, see
+        # :func:`_feat_rows`) so the streamed path can reproduce any
+        # chunk's rows bit for bit.  The level loop then just slices the
+        # precomputed rows.
+        feat_c = _feat_rows(self.f_c2, sample.x_cell, cell_order,
+                            0, len(cell_order))
+        feat_n = _feat_rows(self.f_n, sample.x_net, net_order,
+                            0, len(net_order))
 
         caches: List[dict] = []
         c_off = n_off = 0
@@ -189,6 +223,114 @@ class EndpointGNN(Module):
         return big[:n]
 
     # ------------------------------------------------------------------
+    def forward_stream(self, sample: SampleLike,
+                       stream: StreamPlan) -> np.ndarray:
+        """Inference forward streamed chunk-by-chunk; endpoint rows only.
+
+        Executes the level schedule in :class:`StreamPlan` chunk order,
+        holding one chunk-local propagation buffer at a time and carrying
+        only frontier activations between chunks — never the ``(n+1, h)``
+        whole-graph buffer.  Chunks are whole-level-aligned, so every
+        per-level op sees the identical row sets as :meth:`forward`; the
+        hoisted ``f_c2``/``f_n`` feature branches re-run the same
+        absolute ``FEAT_TILE`` tiles of the level-ordered block (see
+        :func:`_feat_rows` for why same-rows is not enough).  Result
+        equals
+        ``forward(sample, training=False)[sample.endpoint_nodes]`` bit
+        for bit, without ever materializing the ``(n, h)`` table.
+
+        Per-chunk buffers come from the plan's dedicated byte-capped
+        workspace (entered anew each chunk, so cursors rewind and chunk
+        *k+1* reuses chunk *k*'s arena); only the endpoint output and the
+        frontier live store are plain allocations that survive the arena
+        rewind.
+        """
+        require(not self._cache, "forward_stream is inference-only")
+        h = self.hidden
+        dt = np.float64 if self.precision == "fp64" else np.float32
+        endpoint_nodes = sample.endpoint_nodes
+        out = ws_empty((len(endpoint_nodes), h), dt)
+        src = np.empty(h, dtype=dt)
+        src[...] = self.source_emb.data
+        # Level-0 endpoints (degenerate but legal) never pass through a
+        # chunk buffer; they take the source embedding directly, exactly
+        # like the whole-graph buffer's level-0 rows.
+        lvl0_ep = np.asarray(sample.level)[endpoint_nodes] == 0
+        if lvl0_ep.any():
+            out[lvl0_ep] = src
+
+        # The per-plan scratch arena holds exactly two *padded* slabs —
+        # the propagation buffer and the max-reduction destination, both
+        # (max_rows, h) and sliced down per chunk/level — so every chunk
+        # (and every later request on the same plan) borrows the same
+        # two allocations.  Everything else per chunk (feature-branch
+        # MLP intermediates, predecessor gathers) deliberately runs with
+        # NO active arena: those shapes differ chunk to chunk, so a pool
+        # would retain every chunk's set and the working set would creep
+        # back toward whole-graph scale; as plain allocations they are
+        # freed the moment the chunk (or level) drops them.
+        # inference_mode is part of the memory contract, not an
+        # optimization: without it every Linear caches its input
+        # activations for a backward that will never come, and the
+        # retained caches grow right back to whole-graph scale.
+        scratch = stream.scratch_workspace(h)
+        live = np.empty((0, h), dtype=dt)
+        cell_order_all, net_order_all, _ = plan_orders(sample)
+        c_base = n_base = 0
+        with inference_mode():
+            for chunk in stream.chunks:
+                with workspace(scratch):
+                    buf = ws_empty((stream.max_rows, h), dt)[:chunk.n_rows]
+                    maxv_slab = ws_empty((stream.max_rows, h), dt)
+                buf.fill(-np.inf)
+                buf[chunk.source_row] = src
+                if chunk.n_halo:
+                    buf[:chunk.n_halo] = live[chunk.halo_from_live]
+                with workspace(None):
+                    # Chunk rows are a contiguous [base, base+len) slice
+                    # of the global level-ordered block; _feat_rows
+                    # re-runs the same absolute tiles the monolithic
+                    # forward runs, so the rows match it bit for bit.
+                    feat_c = _feat_rows(self.f_c2, sample.x_cell,
+                                        cell_order_all, c_base,
+                                        c_base + len(chunk.cell_order))
+                    feat_n = _feat_rows(self.f_n, sample.x_net,
+                                        net_order_all, n_base,
+                                        n_base + len(chunk.net_order))
+                    c_base += len(chunk.cell_order)
+                    n_base += len(chunk.net_order)
+                    c_off = n_off = 0
+                    for plan in chunk.plans:
+                        mc = len(plan.cell_nodes)
+                        if mc:
+                            gathered = np.take(buf, plan.cell_preds, axis=0)
+                            maxv = gathered.max(axis=1, out=maxv_slab[:mc])
+                            pre = self.f_c1.forward(maxv)
+                            pre += feat_c[c_off:c_off + mc]
+                            if self.residual:
+                                pre += maxv
+                            buf[plan.cell_nodes] = np.maximum(pre, 0.0,
+                                                              out=pre)
+                            c_off += mc
+                        mn = len(plan.net_nodes)
+                        if mn:
+                            pre = np.take(buf, plan.net_drivers, axis=0)
+                            pre += feat_n[n_off:n_off + mn]
+                            buf[plan.net_nodes] = np.maximum(pre, 0.0,
+                                                             out=pre)
+                            n_off += mn
+                if len(chunk.endpoint_pos):
+                    out[chunk.endpoint_pos] = buf[chunk.endpoint_local]
+                # Frontier carry: plain allocations on purpose — the
+                # next chunk's workspace entry rewinds the arena the
+                # slabs live in, so nothing borrowed may cross the
+                # chunk boundary.
+                merged = np.concatenate([live[chunk.keep_prev],
+                                         buf[chunk.keep_new]], axis=0)
+                live = merged[chunk.live_order]
+        return out
+
+    # ------------------------------------------------------------------
     def backward(self, grad_h: np.ndarray) -> None:
         """Backpropagate a (n, hidden) gradient w.r.t. the embeddings.
 
@@ -200,10 +342,10 @@ class EndpointGNN(Module):
         dh = np.zeros((sample.n_nodes, self.hidden))
         dh += grad_h
         # Mirror of the forward's hoisting: collect the per-level f_c2/f_n
-        # input gradients into level-ordered buffers and run each branch
-        # backward once.  dh[nodes of level L] is final by the time the
-        # reverse sweep reaches level L, so the collected rows equal the
-        # per-level calls'.
+        # input gradients into level-ordered buffers, then run each branch
+        # backward tile by tile.  dh[nodes of level L] is final by the
+        # time the reverse sweep reaches level L, so the collected rows
+        # equal the per-level calls'.
         cell_order, net_order, level0 = plan_orders(sample)
         gc_all = np.zeros((len(cell_order), self.hidden))
         gn_all = np.zeros((len(net_order), self.hidden))
@@ -228,7 +370,11 @@ class EndpointGNN(Module):
                 winner = entry["cell_winner"]            # (m, h) node ids
                 dims = np.broadcast_to(np.arange(self.hidden), winner.shape)
                 np.add.at(dh, (winner.ravel(), dims.ravel()), ga.ravel())
-        self.f_c2.backward(gc_all)
-        self.f_n.backward(gn_all)
+        # The forward ran each branch once per FEAT_TILE-row tile, pushing
+        # one cache entry per tile — unwind them LIFO.
+        for tb in reversed(range(0, len(gc_all), FEAT_TILE)):
+            self.f_c2.backward(gc_all[tb:tb + FEAT_TILE])
+        for tb in reversed(range(0, len(gn_all), FEAT_TILE)):
+            self.f_n.backward(gn_all[tb:tb + FEAT_TILE])
         self.source_emb.grad += dh[level0].sum(axis=0)
         self._sample = None

@@ -77,10 +77,26 @@ class TimingPredictor:
         # allocation (the pre-arena behavior) for A/B benchmarking.
         self.use_workspace = True
         self._workspace = Workspace()
+        # Streaming chunk-size hint: when set, inference over samples that
+        # carry no hint of their own streams chunk-by-chunk (see
+        # repro.timing.partition).  Bit-identical outputs either way.
+        self.partition_pins: Optional[int] = None
 
     def _scope(self):
         """Workspace activation for one inference call (or a no-op)."""
         return workspace(self._workspace if self.use_workspace else None)
+
+    def set_partition(self, partition_pins: Optional[int]) -> None:
+        """Set (or clear) the streaming chunk-size hint for inference."""
+        if partition_pins is not None:
+            require(partition_pins > 0, "partition_pins must be positive")
+        self.partition_pins = partition_pins
+
+    def _stamp_partition(self, sample_or_batch) -> None:
+        """Propagate the predictor-level hint unless the object has one."""
+        if (self.partition_pins is not None
+                and getattr(sample_or_batch, "partition_pins", None) is None):
+            sample_or_batch.partition_pins = self.partition_pins
 
     def set_precision(self, mode: str) -> None:
         """Switch the inference tier: ``fp64`` (bit-exact default),
@@ -108,7 +124,7 @@ class TimingPredictor:
         from repro.ml.dataset import build_sample
 
         return build_sample(flow, map_bins=self.model_config.map_bins,
-                            seed=seed)
+                            seed=seed, partition_pins=self.partition_pins)
 
     def predict(self, sample: DesignSample) -> Dict[int, float]:
         """Sign-off endpoint arrival prediction, keyed by endpoint pin id.
@@ -147,6 +163,7 @@ class TimingPredictor:
         samples = list(samples)
         with self._scope():
             batch = PackedBatch.pack(samples)
+            self._stamp_partition(batch)
             sp = get_tracer().span("model.infer_batch", stage="infer",
                                    designs=batch.n_samples,
                                    endpoints=batch.n_endpoints)
@@ -171,6 +188,7 @@ class TimingPredictor:
     def _timed_infer(self, sample: DesignSample) -> np.ndarray:
         sp = get_tracer().span("model.infer", stage="infer",
                                design=sample.name)
+        self._stamp_partition(sample)
         with sp, self._scope():
             pred = self.trainer.predict(sample)
         self.infer_times[sample.name] = sp.duration

@@ -52,10 +52,14 @@ class FlowConfig:
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     router: RouterConfig = field(default_factory=RouterConfig)
     map_bins: int = 64                 # layout feature map resolution
-    #: Sign-off corners, by registered name (see repro.timing.corners).
-    #: The first corner is primary; the default is the legacy single
-    #: implicit corner.
+    #: Sign-off corners, by spec string (a registered name, or a custom
+    #: ``name:voltage_scale:temp_scale`` triple — see
+    #: repro.timing.corners).  The first corner is primary; the default
+    #: is the legacy single implicit corner.
     corners: Tuple[str, ...] = ("base",)
+    #: Streaming chunk-size hint for featurization and inference (see
+    #: :mod:`repro.timing.partition`).  ``None`` = monolithic execution.
+    partition_pins: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.corners, tuple):
@@ -79,9 +83,15 @@ class FlowConfig:
         per corner downstream (:func:`repro.ml.dataset.sample_cache_path`).
         Excluding it keeps every pre-MMMC cache key byte-identical and
         lets corner configs share the physical flow cache.
+
+        ``partition_pins`` is excluded for the same reason: partitioning
+        changes *how* featurization/inference execute, never their
+        outputs (bit-identical by construction), so partitioned and
+        monolithic runs share every cache entry.
         """
         payload = asdict(self)
         payload.pop("corners", None)
+        payload.pop("partition_pins", None)
         text = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 

@@ -18,10 +18,13 @@ from repro.ml.dataset import (
 from repro.ml.features import (
     CELL_FEATURE_DIM,
     NET_FEATURE_DIM,
+    FeatureShapeError,
     cell_feature_row,
+    chunk_feature_block,
     net_feature_row,
     net_output_load,
     node_features,
+    validate_node_features,
 )
 from repro.ml.parallel import (
     BuildReport,
@@ -44,10 +47,13 @@ __all__ = [
     "sample_cache_path",
     "CELL_FEATURE_DIM",
     "NET_FEATURE_DIM",
+    "FeatureShapeError",
     "cell_feature_row",
+    "chunk_feature_block",
     "net_feature_row",
     "net_output_load",
     "node_features",
+    "validate_node_features",
     "BuildReport",
     "DesignBuildStatus",
     "build_dataset_parallel",

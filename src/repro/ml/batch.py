@@ -84,6 +84,12 @@ class PackedBatch:
     #: corner, so one forward covers them all.
     corner_ids: np.ndarray = None
 
+    # --- partitioned execution -----------------------------------------
+    #: Streaming chunk-size hint (see :mod:`repro.timing.partition`),
+    #: propagated from the packed samples when they all agree.  Execution
+    #: knob only — forward outputs are bit-identical either way.
+    partition_pins: "int | None" = None
+
     # ------------------------------------------------------------------
     @property
     def n_samples(self) -> int:
@@ -160,8 +166,12 @@ class PackedBatch:
                 layout_stacks=s.layout_stack[None],
                 masks=masks,
                 corner_ids=np.array([s.corner_index], dtype=np.int64),
+                partition_pins=s.partition_pins,
             )
             batch._topo_orders = plan_orders(s)
+            # Share the sample's stream-plan memo: a pack of one presents
+            # the identical topology, so the chunk schedule is reusable.
+            batch._stream_cache = s.__dict__.setdefault("_stream_cache", {})
             return batch
 
         shape = samples[0].layout_stack.shape
@@ -195,9 +205,21 @@ class PackedBatch:
             # corner views share their base sample's plans identity.
             corner_ids=np.array([s.corner_index for s in samples],
                                 dtype=np.int64),
+            # Streaming is all-or-nothing for a pack: propagate the chunk
+            # hint only when every packed sample agrees on it.
+            partition_pins=_common_pins(samples),
         )
         batch._topo_orders = topo["orders"]
+        # Stream plans are pure topology too: park the memo dict inside
+        # the cached topology entry so repeat packs reuse one schedule.
+        batch._stream_cache = topo.setdefault("stream_cache", {})
         return batch
+
+
+def _common_pins(samples: Sequence[DesignSample]) -> "int | None":
+    """The shared ``partition_pins`` of *samples*, or ``None`` if mixed."""
+    pins = {s.partition_pins for s in samples}
+    return pins.pop() if len(pins) == 1 else None
 
 
 def _concat_rows(arrays: List[np.ndarray]) -> np.ndarray:

@@ -62,7 +62,8 @@ def build_level_plans(graph) -> List[LevelPlan]:
 
 
 def build_sample(flow: FlowResult, map_bins: int = 64,
-                 seed: int = 0, corner: Optional[str] = None) -> DesignSample:
+                 seed: int = 0, corner: Optional[str] = None,
+                 partition_pins: Optional[int] = None) -> DesignSample:
     """Convert a flow result into a training/inference sample.
 
     ``corner`` selects which sign-off corner the labels ``y`` come from
@@ -71,6 +72,11 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
     corner-independent — the predictor sees the same pre-route context
     at every corner and learns the corner effect through its embedding
     (see DESIGN.md, "Multi-corner timing").
+
+    ``partition_pins`` bounds the featurization working set (per-chunk
+    feature blocks, see :mod:`repro.timing.partition`) and is stamped on
+    the sample so downstream inference streams too.  Outputs are
+    bit-identical with or without it.
     """
     corner_names = flow.corner_names
     if corner is None:
@@ -85,7 +91,8 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
     with sp:
         graph = build_timing_graph(nl)
         plans = build_level_plans(graph)
-        x_cell, x_net = node_features(nl, placement, graph)
+        x_cell, x_net = node_features(nl, placement, graph,
+                                      partition=partition_pins)
         masks = build_endpoint_masks(nl, placement, graph, map_bins, seed)
     preprocess_time = sp.duration
 
@@ -139,13 +146,16 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
         preprocess_time=preprocess_time,
         corner=corner,
         corner_index=corner_index,
+        partition_pins=partition_pins,
     )
     _attach_baseline_data(sample, flow, graph)
     return sample
 
 
 def build_corner_samples(flow: FlowResult, map_bins: int = 64,
-                         seed: int = 0) -> List[DesignSample]:
+                         seed: int = 0,
+                         partition_pins: Optional[int] = None,
+                         ) -> List[DesignSample]:
     """One sample per sign-off corner of *flow*, in corner order.
 
     The expensive structural work (graph, plans, features, masks) runs
@@ -155,7 +165,7 @@ def build_corner_samples(flow: FlowResult, map_bins: int = 64,
     """
     names = flow.corner_names
     first = build_sample(flow, map_bins=map_bins, seed=seed,
-                         corner=names[0])
+                         corner=names[0], partition_pins=partition_pins)
     out = [first]
     for idx, cname in enumerate(names[1:], start=1):
         labels = flow.endpoint_labels(cname)
@@ -276,12 +286,16 @@ def load_or_build_samples(name: str, flow_config: FlowConfig,
             for i, (c, s) in enumerate(zip(corners, cached)):
                 s.corner = c.name
                 s.corner_index = i
+                # Execution knob, not content: re-stamp from the current
+                # config (cache keys deliberately ignore it).
+                s.partition_pins = flow_config.partition_pins
             logger.info("loaded %s from cache (%d corner(s))", name,
                         len(cached))
             return cached, "cached"
     logger.info("running flow for %s", name)
     flow = run_flow(name, flow_config)
-    samples = build_corner_samples(flow, map_bins=map_bins, seed=seed)
+    samples = build_corner_samples(flow, map_bins=map_bins, seed=seed,
+                                   partition_pins=flow_config.partition_pins)
     if cache_files is not None:
         for sample, cache_file in zip(samples, cache_files):
             atomic_pickle_dump(sample, cache_file)

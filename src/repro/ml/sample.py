@@ -94,6 +94,14 @@ class DesignSample:
     corner: str = "base"
     corner_index: int = 0
 
+    # --- partitioned execution -------------------------------------------
+    #: Chunk-size hint for the streaming inference path: when set, level
+    #: execution streams over ≲ this many pins at a time (see
+    #: :mod:`repro.timing.partition`).  Purely an execution knob — outputs
+    #: are bit-identical either way — so it is excluded from dataset cache
+    #: fingerprints.  Class-level default keeps pre-partition pickles valid.
+    partition_pins: "int | None" = None
+
     @property
     def n_endpoints(self) -> int:
         return len(self.endpoint_nodes)

@@ -3,6 +3,7 @@
 from repro.netlist.netlist import IN, OUT, CellInst, Net, Netlist, Pin, Port
 from repro.netlist.generator import (
     DESIGN_PRESETS,
+    PAPER_DESIGNS,
     TEST_DESIGNS,
     TRAIN_DESIGNS,
     DesignSpec,
@@ -22,6 +23,7 @@ __all__ = [
     "Pin",
     "Port",
     "DESIGN_PRESETS",
+    "PAPER_DESIGNS",
     "TEST_DESIGNS",
     "TRAIN_DESIGNS",
     "DesignSpec",

@@ -104,7 +104,9 @@ class DesignSpec:
         )
 
 
-#: The ten benchmarks of the paper's Table I, scaled to CPU-trainable sizes.
+#: The ten benchmarks of the paper's Table I, scaled to CPU-trainable sizes,
+#: plus scale-tier presets (``split="bench"``) that exercise the partitioned
+#: execution path and are excluded from the paper's train/test protocol.
 #: Train/test split matches the paper (5 train / 5 test).
 DESIGN_PRESETS: Dict[str, DesignSpec] = {
     "jpeg": DesignSpec("jpeg", 6500, 450, 64, 64, "default", 64,
@@ -129,12 +131,22 @@ DESIGN_PRESETS: Dict[str, DesignSpec] = {
                          macros=(MacroSpec(0.28, 0.24),), split="test"),
     "sha3": DesignSpec("sha3", 6000, 520, 64, 64, "xor_heavy", 56,
                        macros=(MacroSpec(0.18, 0.18),), split="test"),
+    # Scale tier: ≥100k timing-graph pins.  Exists to stress partitioned
+    # featurization/inference (benchmarks/bench_partition.py) — not part
+    # of the paper's benchmark suite, so split="bench" keeps it out of
+    # default dataset builds, Table 1, and the train/test tuples.
+    "large": DesignSpec("large", 30000, 2400, 256, 256, "wide", 96,
+                        n_modules=24,
+                        macros=(MacroSpec(0.24, 0.28), MacroSpec(0.18, 0.20)),
+                        split="bench"),
 }
 
 TRAIN_DESIGNS: Tuple[str, ...] = tuple(
     n for n, s in DESIGN_PRESETS.items() if s.split == "train")
 TEST_DESIGNS: Tuple[str, ...] = tuple(
     n for n, s in DESIGN_PRESETS.items() if s.split == "test")
+#: The paper's Table-I designs — every preset except scale-tier ones.
+PAPER_DESIGNS: Tuple[str, ...] = TRAIN_DESIGNS + TEST_DESIGNS
 
 
 class _IndexedPool:

@@ -52,19 +52,27 @@ class SessionFactory:
         model's own ``corner_names`` (legacy models: just ``base``).
     default_seed:
         Seed used when ``open`` is not given one explicitly.
+    partition_pins:
+        Streaming chunk-size hint stamped on every built session (see
+        :mod:`repro.timing.partition`).  Defaults to the flow config's
+        knob so one ``--partition-pins`` flag covers both paths.
     """
 
     def __init__(self, acquire: Callable[[], TimingPredictor],
                  batcher=None,
                  flow_config: Optional[FlowConfig] = None,
                  corners: Optional[Sequence[str]] = None,
-                 default_seed: int = 0) -> None:
+                 default_seed: int = 0,
+                 partition_pins: Optional[int] = None) -> None:
         require(callable(acquire), "acquire must be a callable")
         self.acquire = acquire
         self.batcher = batcher
         self.flow_config = flow_config
         self.corners = tuple(corners) if corners is not None else None
         self.default_seed = default_seed
+        if partition_pins is None and flow_config is not None:
+            partition_pins = flow_config.partition_pins
+        self.partition_pins = partition_pins
 
     def open(self, design: Union[str, FlowResult],
              sample: Optional[DesignSample] = None,
@@ -93,7 +101,8 @@ class SessionFactory:
             predictor = self.acquire()
             infer = None
         session = DesignSession(flow, predictor, seed=seed, sample=sample,
-                                infer=infer, corners=self.corners)
+                                infer=infer, corners=self.corners,
+                                partition_pins=self.partition_pins)
         for batch in replay or []:
             session.apply([Edit.from_dict(e) for e in batch])
         return session

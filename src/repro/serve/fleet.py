@@ -81,6 +81,7 @@ class FleetConfig:
     plan_cache_dir: Optional[str] = None  # persistent packed-plan cache
     session_ttl_s: Optional[float] = None  # idle-session eviction TTL
     corners: Tuple[str, ...] = ("base",)  # sign-off corners every worker serves
+    partition_pins: Optional[int] = None  # streaming chunk-size hint
 
 
 @dataclass
@@ -227,6 +228,7 @@ class TimingFleet:
             "plan_cache_dir": self.config.plan_cache_dir,
             "session_ttl_s": self.config.session_ttl_s,
             "corners": list(self.config.corners),
+            "partition_pins": self.config.partition_pins,
         }
         process = self._ctx.Process(
             target=worker_main,

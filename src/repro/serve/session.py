@@ -127,7 +127,8 @@ class DesignSession:
                  sample: Optional[DesignSample] = None,
                  infer: Optional[Callable[[DesignSample], np.ndarray]]
                  = None,
-                 corners: Optional[Sequence[str]] = None) -> None:
+                 corners: Optional[Sequence[str]] = None,
+                 partition_pins: Optional[int] = None) -> None:
         require(predictor.trainer.norm is not None,
                 "predictor must be fitted (or loaded) before serving")
         self.name = flow.name
@@ -176,7 +177,16 @@ class DesignSession:
         map_bins = predictor.model_config.map_bins
         with get_tracer().span("serve.session.open", design=self.name):
             self.sample = sample if sample is not None else build_sample(
-                flow, map_bins=map_bins, seed=seed)
+                flow, map_bins=map_bins, seed=seed,
+                partition_pins=partition_pins)
+            if (partition_pins is not None
+                    and self.sample.partition_pins is None):
+                # Pre-built (e.g. cached) sample: stamp the execution
+                # knob so session inference streams chunk-by-chunk.
+                # What-if edits stay finer-grained than chunks — the
+                # incremental featurizer refreshes touched rows in place
+                # and the streaming forward gathers rows lazily.
+                self.sample.partition_pins = partition_pins
             require(self.sample.layout_stack.shape[1] == map_bins,
                     "sample resolution does not match the predictor")
             # The resident sample must carry the primary corner's model

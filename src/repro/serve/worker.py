@@ -151,8 +151,18 @@ def worker_main(conn, worker_id: int, config: Dict[str, Any],
             own.set_precision(precision)
         return own
 
+    # The gateway ships corner *specs* (names or ``name:V:T`` triples);
+    # parsing them here re-registers any custom corners in this process,
+    # and the factory then only needs the resolved names.
+    corner_specs = config.get("corners")
+    corner_names = None
+    if corner_specs:
+        from repro.timing import CornerSet
+
+        corner_names = CornerSet.parse(corner_specs).names
     factory = SessionFactory(acquire_predictor, batcher=batcher,
-                             corners=config.get("corners"))
+                             corners=corner_names,
+                             partition_pins=config.get("partition_pins"))
 
     def open_design(design: str, flow, seed: int, replay) -> None:
         session = factory.open(flow, seed=seed, replay=replay)

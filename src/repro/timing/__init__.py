@@ -14,9 +14,19 @@ from repro.timing.corners import (
     Corner,
     CornerSet,
     derate_library,
+    register_corner,
     resolve_corner,
 )
 from repro.timing.incremental import IncrementalSTA
+from repro.timing.partition import (
+    GraphChunk,
+    PartitionConfig,
+    StreamPlan,
+    build_stream_plan,
+    partition_graph,
+    pins_for_budget,
+    stream_plan_for,
+)
 from repro.timing.nldm import BatchNLDM, batch_nldm_for
 from repro.timing.report import (
     PathReport,
@@ -46,8 +56,16 @@ __all__ = [
     "Corner",
     "CornerSet",
     "derate_library",
+    "register_corner",
     "resolve_corner",
     "IncrementalSTA",
+    "GraphChunk",
+    "PartitionConfig",
+    "StreamPlan",
+    "build_stream_plan",
+    "partition_graph",
+    "pins_for_budget",
+    "stream_plan_for",
     "BatchNLDM",
     "batch_nldm_for",
     "PathReport",

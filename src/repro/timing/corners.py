@@ -48,6 +48,7 @@ __all__ = [
     "CornerSet",
     "STANDARD_CORNERS",
     "derate_library",
+    "register_corner",
     "resolve_corner",
 ]
 
@@ -95,6 +96,53 @@ STANDARD_CORNERS: Dict[str, Corner] = {
     "slow": Corner("slow", voltage_scale=0.90, temp_scale=1.20),
 }
 
+# User-defined corners, registered by name when a ``name:V:T`` triple is
+# parsed (CLI ``--corners``, ``FlowConfig.corners``).  The registry makes
+# the *name* resolvable later — serve requests, pickled configs crossing
+# a process boundary, and derating all go through :func:`resolve_corner`
+# with just the name in hand.
+_CUSTOM_CORNERS: Dict[str, Corner] = {}
+_CUSTOM_LOCK = threading.Lock()
+
+
+def register_corner(corner: Corner) -> Corner:
+    """Make *corner* resolvable by name; conflict-checked, idempotent.
+
+    Re-registering the same name with identical scales is a no-op;
+    different scales (or shadowing a standard corner with different
+    numbers) is an error — one name must mean one PVT point for the
+    lifetime of a process, or corner-keyed caches would lie.
+    """
+    known = STANDARD_CORNERS.get(corner.name)
+    if known is not None:
+        require(known == corner,
+                f"corner {corner.name!r} conflicts with the standard "
+                f"corner of the same name "
+                f"(V={known.voltage_scale}, T={known.temp_scale})")
+        return known
+    with _CUSTOM_LOCK:
+        prior = _CUSTOM_CORNERS.setdefault(corner.name, corner)
+    require(prior == corner,
+            f"corner {corner.name!r} already registered with different "
+            f"scales (V={prior.voltage_scale}, T={prior.temp_scale})")
+    return prior
+
+
+def _parse_corner_spec(spec: str) -> Corner:
+    """One ``name`` or ``name:voltage_scale:temp_scale`` token."""
+    if ":" not in spec:
+        return resolve_corner(spec)
+    parts = spec.split(":")
+    require(len(parts) == 3,
+            f"corner spec {spec!r} must be 'name:voltage_scale:temp_scale'")
+    name, vs, ts = (p.strip() for p in parts)
+    try:
+        voltage_scale, temp_scale = float(vs), float(ts)
+    except ValueError:
+        raise ValueError(
+            f"corner spec {spec!r}: scales must be numbers") from None
+    return register_corner(Corner(name, voltage_scale, temp_scale))
+
 
 @dataclass(frozen=True)
 class CornerSet:
@@ -117,26 +165,24 @@ class CornerSet:
     # -- construction ---------------------------------------------------
     @classmethod
     def parse(cls, spec: Union[str, Sequence[str], None]) -> "CornerSet":
-        """Build a set from ``"fast,typ,slow"`` or a name sequence.
+        """Build a set from ``"fast,typ,slow"`` or a spec sequence.
 
-        Names resolve against :data:`STANDARD_CORNERS`; ``None`` or an
-        empty spec yields the single-corner base set.
+        Each comma-separated token is either a registered corner name or
+        a user-defined ``name:voltage_scale:temp_scale`` triple — e.g.
+        ``"base,ff_0p99v:1.08:0.92"``.  Triples are registered as a side
+        effect (see :func:`register_corner`), so parsing the same spec
+        string in another process reconstructs identical corners.
+        ``None`` or an empty spec yields the single-corner base set.
         """
         if spec is None:
             return cls.base()
         if isinstance(spec, str):
-            names = [n.strip() for n in spec.split(",") if n.strip()]
+            tokens = [n.strip() for n in spec.split(",") if n.strip()]
         else:
-            names = [str(n) for n in spec]
-        if not names:
+            tokens = [str(n) for n in spec]
+        if not tokens:
             return cls.base()
-        corners = []
-        for name in names:
-            require(name in STANDARD_CORNERS,
-                    f"unknown corner {name!r} "
-                    f"(known: {sorted(STANDARD_CORNERS)})")
-            corners.append(STANDARD_CORNERS[name])
-        return cls(tuple(corners))
+        return cls(tuple(_parse_corner_spec(tok) for tok in tokens))
 
     @classmethod
     def base(cls) -> "CornerSet":
@@ -146,6 +192,23 @@ class CornerSet:
     @property
     def names(self) -> Tuple[str, ...]:
         return tuple(c.name for c in self.corners)
+
+    @property
+    def specs(self) -> Tuple[str, ...]:
+        """Spec strings that :meth:`parse` round-trips to this set.
+
+        Standard corners keep their bare name; user-defined ones render
+        as ``name:voltage_scale:temp_scale``.  Ship *these* (not just
+        ``names``) across process boundaries — parsing them re-registers
+        the custom corners on the other side.
+        """
+        out = []
+        for c in self.corners:
+            if STANDARD_CORNERS.get(c.name) == c:
+                out.append(c.name)
+            else:
+                out.append(f"{c.name}:{c.voltage_scale:g}:{c.temp_scale:g}")
+        return tuple(out)
 
     @property
     def primary(self) -> Corner:
@@ -179,14 +242,23 @@ class CornerSet:
 
 
 def resolve_corner(corner: Union[Corner, str, None]) -> Corner:
-    """Coerce a name / ``None`` / :class:`Corner` to a :class:`Corner`."""
+    """Coerce a name / ``None`` / :class:`Corner` to a :class:`Corner`.
+
+    Names resolve against the standard registry first, then the
+    user-defined one (:func:`register_corner`).
+    """
     if corner is None:
         return BASE_CORNER
     if isinstance(corner, Corner):
         return corner
-    require(corner in STANDARD_CORNERS,
-            f"unknown corner {corner!r} (known: {sorted(STANDARD_CORNERS)})")
-    return STANDARD_CORNERS[corner]
+    known = STANDARD_CORNERS.get(corner)
+    if known is None:
+        with _CUSTOM_LOCK:
+            known = _CUSTOM_CORNERS.get(corner)
+    require(known is not None,
+            f"unknown corner {corner!r} (known: "
+            f"{sorted(STANDARD_CORNERS) + sorted(_CUSTOM_CORNERS)})")
+    return known
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.netlist import (
     DESIGN_PRESETS,
+    PAPER_DESIGNS,
     TEST_DESIGNS,
     TRAIN_DESIGNS,
     compute_stats,
@@ -19,10 +20,19 @@ from repro.timing import build_timing_graph
 def test_presets_cover_paper_benchmarks():
     expected = {"jpeg", "rocket", "smallboom", "steelcore", "xgate",
                 "arm9", "chacha", "hwacha", "or1200", "sha3"}
-    assert set(DESIGN_PRESETS) == expected
+    assert set(PAPER_DESIGNS) == expected
+    assert set(DESIGN_PRESETS) == expected | {"large"}
     assert len(TRAIN_DESIGNS) == 5 and len(TEST_DESIGNS) == 5
     assert set(TRAIN_DESIGNS) == {"jpeg", "rocket", "smallboom",
                                   "steelcore", "xgate"}
+
+
+def test_scale_tier_presets_stay_out_of_the_paper_protocol():
+    """``split="bench"`` presets never leak into train/test/table runs."""
+    spec = DESIGN_PRESETS["large"]
+    assert spec.split == "bench"
+    assert "large" not in PAPER_DESIGNS
+    assert "large" not in TRAIN_DESIGNS and "large" not in TEST_DESIGNS
 
 
 def test_generation_is_deterministic():

@@ -271,3 +271,56 @@ def _stable(payload):
         return {k: _stable(v) for k, v in payload.items()
                 if k != "latency_ms"}
     return payload
+
+
+# ---------------------------------------------------------------------------
+# User-defined corners, end to end: parse specs -> flow -> fitted model
+# -> dispatcher -> fleet workers re-registering the custom corner from
+# the shipped specs (the `repro serve --corners name:V:T` round trip).
+
+CUSTOM_SPECS = ("typ", "hot:0.93:1.2")
+
+
+def test_custom_corner_serves_end_to_end():
+    from repro.timing import CornerSet
+
+    corner_set = CornerSet.parse(",".join(CUSTOM_SPECS))
+    assert corner_set.specs == CUSTOM_SPECS
+    flow = run_flow("xgate", FlowConfig(scale=0.25, base_seed=0,
+                                        corners=corner_set.specs))
+    predictor = TimingPredictor(
+        model_config=ModelConfig(map_bins=MAP_BINS,
+                                 corner_names=corner_set.names),
+        trainer_config=TrainerConfig(epochs=1))
+    predictor.fit(build_corner_samples(flow, map_bins=MAP_BINS, seed=0))
+
+    factory = SessionFactory(lambda: predictor, corners=corner_set.names)
+    session = factory.open(pickle.loads(pickle.dumps(flow)))
+    dispatcher = RequestDispatcher({"xgate": session},
+                                   model_info={"name": "custom"})
+    status, health = dispatcher.handle_to_wire("GET", "/health", None)
+    assert status == 200
+    assert health["corners"] == ["typ", "hot"]
+    status, body = dispatcher.handle_to_wire(
+        "POST", "/whatif",
+        {"design": "xgate", "edits": [EDIT], "corner": "hot"})
+    assert status == 200
+    assert sorted(body["corners"]) == ["hot", "typ"]
+    assert body["predictions"] == body["corners"]["hot"]["predictions"]
+    want = _stable(body)
+
+    # Fleet workers get the *specs* (a fresh process knows nothing about
+    # "hot" until it re-parses them) — the answer must match bit for bit.
+    fleet = TimingFleet(
+        predictor.to_artifact(), {"xgate": flow},
+        FleetConfig(workers=1, threads=2, microbatch=4, deadline_s=20.0,
+                    queue_depth=8, corners=corner_set.specs)).start()
+    gateway = TimingGateway(fleet, port=0).start()
+    try:
+        status, _, payload = http_call(
+            gateway.address, "POST", "/whatif",
+            {"design": "xgate", "edits": [EDIT], "corner": "hot"})
+        assert status == 200
+        assert _stable(payload) == want
+    finally:
+        gateway.stop(drain_timeout_s=15.0)

@@ -155,3 +155,77 @@ def test_corner_sta_monotonicity(tiny_placed):
         assert slow.endpoint_arrival[pid] > arr
         assert fast.endpoint_arrival[pid] < arr
     assert slow.wns < base.wns < fast.wns
+
+
+# ---------------------------------------------------------------------------
+# User-defined corners (the name:voltage_scale:temp_scale grammar)
+
+
+@pytest.fixture(autouse=True)
+def _clean_custom_registry():
+    """Custom corners register into a process-global table; keep each
+    test's registrations from leaking into the next."""
+    from repro.timing import corners as mod
+
+    saved = dict(mod._CUSTOM_CORNERS)
+    yield
+    mod._CUSTOM_CORNERS.clear()
+    mod._CUSTOM_CORNERS.update(saved)
+
+
+def test_parse_custom_corner_triple():
+    cs = CornerSet.parse("fast,hotspot:0.92:1.3")
+    assert cs.names == ("fast", "hotspot")
+    hot = cs.corners[1]
+    assert hot == Corner("hotspot", voltage_scale=0.92, temp_scale=1.3)
+    # Parsing registered it: bare-name resolution now works everywhere.
+    assert resolve_corner("hotspot") == hot
+    assert hot.delay_factor == pytest.approx(1.3 / 0.92 ** 2)
+
+
+def test_specs_round_trip():
+    cs = CornerSet.parse(" typ , cold:1.05:0.8 ")
+    assert cs.specs == ("typ", "cold:1.05:0.8")
+    # What a FleetConfig ships to workers: re-parsing the rendered specs
+    # in a fresh registry must rebuild the identical corner set.
+    from repro.timing import corners as mod
+
+    mod._CUSTOM_CORNERS.clear()
+    again = CornerSet.parse(",".join(cs.specs))
+    assert again.corners == cs.corners
+    assert again.specs == cs.specs
+
+
+def test_custom_corner_grammar_errors():
+    for bad in ("a:1", "a:1:2:3", "a:x:1", "a:1:y", "::"):
+        with pytest.raises(ValueError):
+            CornerSet.parse(bad)
+
+
+def test_standard_name_shadowing():
+    slow = STANDARD_CORNERS["slow"]
+    # Restating a standard corner with its own scales is a no-op alias...
+    cs = CornerSet.parse(f"slow:{slow.voltage_scale}:{slow.temp_scale}")
+    assert cs.corners[0] is slow
+    # ...but different scales under a standard name are a hard error.
+    with pytest.raises(ValueError, match="standard corner"):
+        CornerSet.parse("slow:2.0:2.0")
+
+
+def test_reregistration_conflicts_are_rejected():
+    CornerSet.parse("burn:1.1:1.0")
+    assert resolve_corner("burn").voltage_scale == 1.1
+    # Idempotent re-parse is fine; changed scales are not.
+    CornerSet.parse("burn:1.1:1.0")
+    with pytest.raises(ValueError, match="already registered"):
+        CornerSet.parse("burn:1.2:1.0")
+
+
+def test_derate_library_applies_custom_corner():
+    cs = CornerSet.parse("oven:0.9:1.25")
+    corner = cs.corners[0]
+    lib = CellLibrary.default()
+    derated = derate_library(lib, "oven")
+    name = lib.cell_names()[0]
+    assert derated.cell(name).intrinsic_delay == pytest.approx(
+        lib.cell(name).intrinsic_delay * corner.delay_factor)
