@@ -1,0 +1,80 @@
+"""Scenario sweeps — staged artifact reuse vs. independent full flows.
+
+A clock-constraint sweep changes nothing physical: the netlist, the
+placement, the routing (without re-optimization) and the unconstrained
+pre-route propagation are identical at every point.  The staged engine's
+chained fingerprints encode exactly that, so a sweep through one
+:class:`~repro.flow.StageStore` runs generation/placement/routing once
+and re-derives only the constrained STAs per point, where the naive
+shape re-runs the whole flow N times.
+
+This benchmark times both shapes on an N-point ``clock_frac`` sweep,
+asserts the staged path's speedup, and re-checks the equivalence
+contract (swept flows == independently built flows, array-for-array) —
+a fast wrong answer is worthless.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.flow import FlowConfig, ScenarioSpec, StageStore, run_scenarios
+from repro.flow.flow import run_flow_on_spec
+from repro.netlist import DESIGN_PRESETS
+
+from benchmarks.conftest import emit_bench, run_once
+
+#: Sweep without re-optimization: the honest contrast.  With ``with_opt``
+#: the optimizer (which *does* depend on the clock) dominates runtime and
+#: re-runs per point either way; the no-opt sweep is the shape the reuse
+#: engine accelerates — only the two clock-dependent STAs run per point.
+FLOW_CONFIG = FlowConfig(scale=0.25, base_seed=0, with_opt=False)
+DESIGN = "xgate"
+POINTS = (0.5, 0.6, 0.7, 0.8)
+
+
+def test_clock_sweep_reuse_vs_independent_flows(benchmark):
+    spec = DESIGN_PRESETS[DESIGN].scaled(FLOW_CONFIG.scale)
+    scenarios = [ScenarioSpec(axes=(("clock_frac", p),)) for p in POINTS]
+    variant_specs = [s.apply(spec) for s in scenarios]
+
+    def scenario():
+        t0 = time.perf_counter()
+        independent = [run_flow_on_spec(v, FLOW_CONFIG)
+                       for v in variant_specs]
+        t_independent = time.perf_counter() - t0
+
+        store = StageStore()
+        t0 = time.perf_counter()
+        swept = run_scenarios(DESIGN, FLOW_CONFIG, scenarios, store=store)
+        t_swept = time.perf_counter() - t0
+
+        # Equivalence: every sweep point matches its independent build.
+        for a, b in zip(swept, independent):
+            assert a.clock_period == b.clock_period
+            np.testing.assert_array_equal(a.signoff_sta.arrival,
+                                          b.signoff_sta.arrival)
+            np.testing.assert_array_equal(a.pre_route_sta.arrival,
+                                          b.pre_route_sta.arrival)
+        return t_independent, t_swept, store.stats()
+
+    t_independent, t_swept, stats = run_once(benchmark, scenario)
+    speedup = t_independent / t_swept
+    emit_bench("scenario", {
+        "independent_s": round(t_independent, 4),
+        "swept_s": round(t_swept, 4),
+        "speedup": round(speedup, 2),
+        "points": list(POINTS),
+        "design": DESIGN,
+        "store": stats,
+    })
+    print(f"\nScenario sweep — {len(POINTS)}-point clock_frac sweep of "
+          f"{DESIGN}: independent flows {t_independent:.2f} s vs staged "
+          f"store {t_swept:.2f} s ({speedup:.1f}x; store {stats})")
+    # ~2.5-3x measured at 4 points (generation + placement + routing +
+    # the unconstrained STA amortize across the sweep); gated at 2x per
+    # the issue's acceptance bar, with headroom for shared runners.
+    assert speedup >= 2.0, (
+        f"staged sweep must be >=2x faster than independent flows, "
+        f"got {speedup:.1f}x")

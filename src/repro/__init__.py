@@ -20,10 +20,17 @@ _EXPORTS = {
     "ModelConfig": "repro.core",
     "TrainerConfig": "repro.core",
     "ARTIFACT_SCHEMA_VERSION": "repro.core",
-    # Reference flow
+    # Reference flow (staged pipeline + scenarios)
     "run_flow": "repro.flow",
     "FlowConfig": "repro.flow",
     "FlowResult": "repro.flow",
+    "StagedFlow": "repro.flow",
+    "StageStore": "repro.flow",
+    "ScenarioSpec": "repro.flow",
+    "expand_scenarios": "repro.flow",
+    "run_scenarios": "repro.flow",
+    "run_scenario_flow": "repro.flow",
+    "run_staged_flow": "repro.flow",
     # Designs + data
     "DESIGN_PRESETS": "repro.netlist",
     "build_dataset": "repro.ml",
@@ -77,7 +84,18 @@ if TYPE_CHECKING:  # let static analyzers resolve the façade eagerly
         TimingPredictor,
         TrainerConfig,
     )
-    from repro.flow import FlowConfig, FlowResult, run_flow  # noqa: F401
+    from repro.flow import (  # noqa: F401
+        FlowConfig,
+        FlowResult,
+        ScenarioSpec,
+        StagedFlow,
+        StageStore,
+        expand_scenarios,
+        run_flow,
+        run_scenario_flow,
+        run_scenarios,
+        run_staged_flow,
+    )
     from repro.ml import (  # noqa: F401
         DesignSample,
         EndpointBatchSampler,

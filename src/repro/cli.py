@@ -57,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--partition-pins", type=int, default=None,
                       help="stream featurization over graph chunks of "
                            "at most N pins (default: whole-graph)")
+    p_ds.add_argument("--sweep", action="append", default=None,
+                      metavar="AXIS=V1,V2,...",
+                      help="sweep a numeric DesignSpec axis across flow "
+                           "variants (e.g. clock_frac=0.6,0.7,0.8); "
+                           "repeatable — multiple axes form their "
+                           "cartesian product; variants share flow "
+                           "stages through the staged engine")
+    p_ds.add_argument("--eco-rounds", type=int, default=0,
+                      help="append N ECO re-optimization rounds per "
+                           "sweep point (each round re-enters the opt "
+                           "stage on the routed netlist and is its own "
+                           "scenario/sample)")
 
     p_tr = sub.add_parser("train", help="train and save a predictor")
     p_tr.add_argument("--variant", choices=("full", "gnn", "cnn"),
@@ -77,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--partition-pins", type=int, default=None,
                       help="stream dataset featurization over graph "
                            "chunks of at most N pins")
+    p_tr.add_argument("--sweep", action="append", default=None,
+                      metavar="AXIS=V1,V2,...",
+                      help="train across flow-variant scenarios (see "
+                           "'repro dataset --sweep'); scenario id is a "
+                           "dataset dimension, not a model input")
+    p_tr.add_argument("--eco-rounds", type=int, default=0,
+                      help="include N ECO re-optimization rounds per "
+                           "sweep point in the training set")
 
     p_pr = sub.add_parser("predict", help="predict a design's endpoints")
     p_pr.add_argument("design")
@@ -151,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream session featurization and inference "
                             "over graph chunks of at most N pins "
                             "(bit-identical to whole-graph)")
+    p_srv.add_argument("--scenario", default=None,
+                       help="serve every design at this flow scenario "
+                            "(e.g. clock_frac=0.7+eco=1, or a scenario "
+                            "id like clock_frac0.7+eco1): what-ifs are "
+                            "then asked at the swept clock / post-ECO "
+                            "implementation (default: the plain flow)")
 
     p_prof = sub.add_parser(
         "profile",
@@ -221,7 +247,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_dataset(args) -> int:
-    from repro.flow import FlowConfig
+    from repro.flow import FlowConfig, expand_scenarios
     from repro.ml import build_dataset_report
     from repro.netlist import PAPER_DESIGNS
 
@@ -233,12 +259,16 @@ def cmd_dataset(args) -> int:
     config = FlowConfig(base_seed=args.seed, scale=args.scale,
                         corners=CornerSet.parse(args.corners).specs,
                         partition_pins=args.partition_pins)
+    scenarios = (expand_scenarios(args.sweep or (), args.eco_rounds)
+                 if args.sweep or args.eco_rounds else None)
     samples, report = build_dataset_report(
         designs, flow_config=config, cache_dir=args.cache, seed=args.seed,
-        jobs=args.jobs)
+        jobs=args.jobs, scenarios=scenarios)
     for s in samples:
         if s is not None:
             label = s.name if s.corner == "base" else f"{s.name}@{s.corner}"
+            if s.scenario:
+                label = f"{label}@{s.scenario}"
             print(f"{label:<10} endpoints {s.n_endpoints:>5}  "
                   f"nodes {s.n_nodes:>7}  pre {s.preprocess_time:.2f}s")
     print()
@@ -248,24 +278,27 @@ def cmd_dataset(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.core import ModelConfig, TimingPredictor, TrainerConfig
-    from repro.flow import FlowConfig
+    from repro.flow import FlowConfig, expand_scenarios
     from repro.ml import build_dataset
     from repro.netlist import TRAIN_DESIGNS
     from repro.timing import CornerSet
 
     corner_set = CornerSet.parse(args.corners)
     corner_names = corner_set.names
+    scenarios = (expand_scenarios(args.sweep or (), args.eco_rounds)
+                 if args.sweep or args.eco_rounds else None)
     train = build_dataset(list(TRAIN_DESIGNS),
                           flow_config=FlowConfig(
                               corners=corner_set.specs,
                               partition_pins=args.partition_pins),
-                          cache_dir=args.cache)
+                          cache_dir=args.cache, scenarios=scenarios)
     for seed in range(1, args.augment + 1):
         train += build_dataset(list(TRAIN_DESIGNS),
                                flow_config=FlowConfig(
                                    base_seed=seed, corners=corner_set.specs,
                                    partition_pins=args.partition_pins),
-                               cache_dir=args.cache, seed=seed)
+                               cache_dir=args.cache, seed=seed,
+                               scenarios=scenarios)
     predictor = TimingPredictor(
         model_config=ModelConfig(variant=args.variant,
                                  corner_names=corner_names),
@@ -351,7 +384,7 @@ def cmd_serve(args) -> int:
     import signal
 
     from repro.core import ModelConfig, TimingPredictor, TrainerConfig
-    from repro.flow import FlowConfig, run_flow
+    from repro.flow import FlowConfig, run_scenario_flow
     from repro.ml.dataset import build_corner_samples, build_sample
     from repro.serve import (
         FleetConfig,
@@ -370,7 +403,11 @@ def cmd_serve(args) -> int:
     flow_config = FlowConfig(scale=args.scale, base_seed=args.seed,
                              corners=corner_set.specs,
                              partition_pins=args.partition_pins)
-    flows = {d: run_flow(d, flow_config) for d in args.designs}
+    # The default (no --scenario) routes through the plain run_flow path
+    # inside run_scenario_flow; scenario-tagged FlowResults pickle over
+    # the fleet's worker pipes unchanged.
+    flows = {d: run_scenario_flow(d, flow_config, scenario=args.scenario)
+             for d in args.designs}
 
     if args.plan_cache is not None:
         from repro.ml.plancache import configure_plan_cache
@@ -455,7 +492,8 @@ def cmd_serve(args) -> int:
     factory = SessionFactory(acquire, batcher=batcher,
                              flow_config=flow_config,
                              corners=corner_names,
-                             default_seed=args.seed)
+                             default_seed=args.seed,
+                             scenario=args.scenario)
     sessions = {d: factory.open(flows[d], sample=samples[d])
                 for d in args.designs}
     server = TimingServer(

@@ -19,25 +19,12 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.netlist import DESIGN_PRESETS, DesignSpec, Netlist, generate_netlist
-from repro.opt import OptimizerConfig, OptReport, TimingOptimizer
-from repro.placement import (
-    Placement,
-    PlacerConfig,
-    build_die,
-    compute_layout_maps,
-    legalize,
-    place,
-)
+from repro.netlist import DESIGN_PRESETS, DesignSpec, Netlist
+from repro.opt import OptimizerConfig, OptReport
+from repro.placement import Placement, PlacerConfig
 from repro.placement.density import LayoutMaps
-from repro.route import RouterConfig, RoutingResult, route
-from repro.timing import (
-    CornerSet,
-    PreRouteEstimator,
-    STAResult,
-    build_timing_graph,
-    run_sta,
-)
+from repro.route import RouterConfig, RoutingResult
+from repro.timing import CornerSet, STAResult
 from repro.utils import StageTimer, require
 
 
@@ -119,6 +106,10 @@ class FlowResult:
     #: ``signoff_sta`` (same object); single-corner flows carry only
     #: that alias, so pre-MMMC behavior is unchanged.
     corner_signoff: Dict[str, STAResult] = field(default_factory=dict)
+    #: Scenario id this flow variant belongs to (``""`` = the default
+    #: single-scenario flow; see :mod:`repro.flow.scenario`).  A
+    #: class-level default, so pre-scenario pickles resolve cleanly.
+    scenario: str = ""
 
     @property
     def name(self) -> str:
@@ -140,6 +131,21 @@ class FlowResult:
                 f"(have: {list(self.corner_signoff) or ['base']})")
         return self.corner_signoff[corner]
 
+    @property
+    def endpoint_pin_set(self) -> frozenset:
+        """The input netlist's endpoint pin ids, computed once.
+
+        Label extraction calls :meth:`endpoint_labels` once per corner
+        per scenario; walking every pin of the netlist each time was
+        pure rework, so the set is cached on first use (plain
+        ``__dict__`` memo — survives nothing, costs nothing).
+        """
+        cached = self.__dict__.get("_endpoint_pin_set")
+        if cached is None:
+            cached = frozenset(self.input_netlist.endpoint_pins())
+            self.__dict__["_endpoint_pin_set"] = cached
+        return cached
+
     def endpoint_labels(self, corner: str = "base") -> dict:
         """Sign-off arrival time per endpoint pin of the *input* netlist.
 
@@ -149,7 +155,7 @@ class FlowResult:
 
         ``corner`` selects which sign-off run the labels come from.
         """
-        endpoints = set(self.input_netlist.endpoint_pins())
+        endpoints = self.endpoint_pin_set
         sta = self.signoff_at(corner)
         labels = {pid: arr for pid, arr in
                   sta.endpoint_arrival.items()
@@ -172,66 +178,17 @@ def run_flow(design: str,
 
 def run_flow_on_spec(spec: DesignSpec,
                      config: Optional[FlowConfig] = None) -> FlowResult:
-    """Run the full reference flow on an explicit :class:`DesignSpec`."""
+    """Run the full reference flow on an explicit :class:`DesignSpec`.
+
+    The flow body lives in :mod:`repro.flow.stages` as a composable
+    staged pipeline (generate → place → constrain → opt → route →
+    signoff).  Run store-less — this entry point — the stages execute
+    back-to-back and are bit-identical to the historic monolith (pinned
+    by ``tests/flow/test_staged_differential.py``); scenario engines
+    pass a :class:`~repro.flow.store.StageStore` to fork variants from
+    the deepest shared stage instead.
+    """
+    from repro.flow.stages import run_staged_flow
+
     config = config or FlowConfig()
-    timer = StageTimer(design=spec.name)
-
-    netlist = generate_netlist(spec, config.base_seed)
-    die = build_die(netlist, spec, config.base_seed)
-    with timer.stage("place"):
-        placement = place(netlist, die, config.placer)
-        legalize(netlist, placement)
-    input_maps = compute_layout_maps(netlist, placement,
-                                     m=config.map_bins, n=config.map_bins)
-
-    # The clock constraint: a fixed fraction of the unconstrained pre-route
-    # critical delay, so every design starts with real violations to fix.
-    graph = build_timing_graph(netlist)
-    unconstrained = run_sta(graph, PreRouteEstimator(netlist, placement),
-                            clock_period=1.0)
-    clock_period = spec.clock_frac * unconstrained.max_arrival
-    pre_route_sta = run_sta(graph, PreRouteEstimator(netlist, placement),
-                            clock_period)
-
-    # Timing optimization on clones; the pre-routing inputs stay pristine.
-    opt_netlist = netlist.clone()
-    opt_placement = Placement(die=die, cell_xy=dict(placement.cell_xy))
-    opt_report: Optional[OptReport] = None
-    if config.with_opt:
-        with timer.stage("opt"):
-            optimizer = TimingOptimizer(opt_netlist, opt_placement,
-                                        config.optimizer)
-            opt_report = optimizer.run(clock_period)
-
-    with timer.stage("route"):
-        routing = route(opt_netlist, opt_placement, config.router)
-    with timer.stage("sta"):
-        signoff_graph = build_timing_graph(opt_netlist)
-        signoff_sta = run_sta(signoff_graph, routing.lengths, clock_period)
-        # Additional sign-off corners reuse the routed graph; the base
-        # corner aliases the nominal run so the single-corner default
-        # does no extra work and stays bit-identical.
-        corner_signoff: Dict[str, STAResult] = {}
-        for corner in config.corner_set():
-            if corner.name == "base":
-                corner_signoff["base"] = signoff_sta
-            else:
-                corner_signoff[corner.name] = run_sta(
-                    signoff_graph, routing.lengths, clock_period,
-                    corner=corner)
-
-    return FlowResult(
-        spec=spec,
-        clock_period=clock_period,
-        input_netlist=netlist,
-        input_placement=placement,
-        input_maps=input_maps,
-        pre_route_sta=pre_route_sta,
-        opt_netlist=opt_netlist,
-        opt_placement=opt_placement,
-        opt_report=opt_report,
-        routing=routing,
-        signoff_sta=signoff_sta,
-        timer=timer,
-        corner_signoff=corner_signoff,
-    )
+    return run_staged_flow(spec, config)

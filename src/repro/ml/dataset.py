@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.masking import build_endpoint_masks
-from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.flow import FlowConfig, FlowResult, ScenarioSpec, run_flow
 from repro.ml.features import node_features
 from repro.ml.sample import DesignSample, LevelPlan
 from repro.netlist import DESIGN_PRESETS
@@ -146,6 +146,7 @@ def build_sample(flow: FlowResult, map_bins: int = 64,
         preprocess_time=preprocess_time,
         corner=corner,
         corner_index=corner_index,
+        scenario=getattr(flow, "scenario", ""),
         partition_pins=partition_pins,
     )
     _attach_baseline_data(sample, flow, graph)
@@ -232,8 +233,9 @@ def _edge_in(nl, edge: Tuple[int, int]) -> bool:
 
 def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
                       map_bins: int, seed: int,
-                      corner: str = "base") -> Path:
-    """Cache file for one (design, corner) under one *full* configuration.
+                      corner: str = "base", scenario: str = "") -> Path:
+    """Cache file for one (design, corner, scenario) under one *full*
+    configuration.
 
     The key is a content hash over the complete :class:`FlowConfig`
     (including the placer/optimizer/router sub-configs and ``with_opt``)
@@ -242,8 +244,10 @@ def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
     stale entry can never be served for a different configuration.
 
     Non-base corners extend the hash payload and the file name with a
-    corner tag; the base corner's key is byte-identical to the
-    pre-corner scheme, so existing caches keep hitting.
+    corner tag; non-default scenarios do the same with an ``@scenario``
+    tag (``adder@clock_frac0.7+eco1_<key>.pkl``).  The base-corner,
+    default-scenario key is byte-identical to the pre-corner scheme, so
+    existing caches keep hitting.
     """
     payload = (f"{flow_config.fingerprint()}:b{map_bins}:s{seed}"
                f":v{CACHE_VERSION}")
@@ -251,6 +255,9 @@ def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
     if corner != "base":
         payload += f":c{corner}"
         stem = f"{name}@{corner}"
+    if scenario:
+        payload += f":sc{scenario}"
+        stem = f"{stem}@{scenario}"
     key = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
     return Path(cache_dir) / f"{stem}_{key}.pkl"
 
@@ -258,48 +265,104 @@ def sample_cache_path(cache_dir: Path, name: str, flow_config: FlowConfig,
 def load_or_build_samples(name: str, flow_config: FlowConfig,
                           map_bins: int = 64, seed: int = 0,
                           cache_dir: Optional[Path] = None,
+                          scenarios: Optional[List[ScenarioSpec]] = None,
                           ) -> Tuple[List[DesignSample], str]:
-    """One design → one sample per configured corner, through the cache.
+    """One design → one sample per (scenario, corner), through the cache.
 
-    Returns ``(samples, status)`` with status ``"cached"`` (every corner
-    hit) or ``"built"`` (one flow run produced all corners).  Cache
-    reads treat corrupt/unreadable files as misses (warn + rebuild);
-    cache writes are atomic (temp file + ``os.replace``), so an
-    interrupted build never leaves a half-written file behind.  Shared
-    by the serial loop below and the parallel workers in
-    :mod:`repro.ml.parallel`.
+    Sample order is scenario-major, corner-minor; the default
+    ``scenarios=None`` is the single default scenario — exactly the
+    pre-scenario behavior, same cache files.  Returns ``(samples,
+    status)`` with status ``"cached"`` (every entry hit) or ``"built"``
+    (at least one flow variant ran; variants share one
+    :class:`~repro.flow.StageStore`, so each computes only the stages
+    its axes change).  Cache reads treat corrupt/unreadable files as
+    misses (warn + rebuild); cache writes are atomic (temp file +
+    ``os.replace``), so an interrupted build never leaves a half-written
+    file behind.  Shared by the serial loop below and the parallel
+    workers in :mod:`repro.ml.parallel`.
     """
+    from repro.flow.scenario import _resolve_spec
+
     corners = flow_config.corner_set()
-    cache_files = None
+    scenario_list = list(scenarios) if scenarios else [ScenarioSpec()]
+    spec = _resolve_spec(name, flow_config)
+    resolved = [s.resolve(spec) for s in scenario_list]
+
     if cache_dir is not None:
         cache_dir = Path(cache_dir)
         cache_dir.mkdir(parents=True, exist_ok=True)
-        cache_files = [sample_cache_path(cache_dir, name, flow_config,
-                                         map_bins, seed, corner=c.name)
-                       for c in corners]
-        cached = [load_pickle_or_none(f, logger) for f in cache_files]
-        if all(s is not None for s in cached):
-            # Corner identity follows the *current* set order (a cache
-            # entry is keyed by corner name, not position); pre-corner
-            # base pickles resolve via the class defaults and are
-            # re-stamped identically.
-            for i, (c, s) in enumerate(zip(corners, cached)):
-                s.corner = c.name
-                s.corner_index = i
-                # Execution knob, not content: re-stamp from the current
-                # config (cache keys deliberately ignore it).
-                s.partition_pins = flow_config.partition_pins
-            logger.info("loaded %s from cache (%d corner(s))", name,
-                        len(cached))
-            return cached, "cached"
-    logger.info("running flow for %s", name)
-    flow = run_flow(name, flow_config)
-    samples = build_corner_samples(flow, map_bins=map_bins, seed=seed,
-                                   partition_pins=flow_config.partition_pins)
-    if cache_files is not None:
-        for sample, cache_file in zip(samples, cache_files):
-            atomic_pickle_dump(sample, cache_file)
-    return samples, "built"
+    out: List[Optional[DesignSample]] = [None] * (len(resolved)
+                                                 * len(corners))
+    missing: List[int] = []         # scenario indices still to build
+    for si, scen in enumerate(resolved):
+        loaded = None
+        if cache_dir is not None:
+            files = [sample_cache_path(cache_dir, name, flow_config,
+                                       map_bins, seed, corner=c.name,
+                                       scenario=scen.scenario_id)
+                     for c in corners]
+            loaded = [load_pickle_or_none(f, logger) for f in files]
+            if any(s is None for s in loaded):
+                loaded = None
+        if loaded is None:
+            missing.append(si)
+            continue
+        # Corner/scenario identity follows the *current* request (a
+        # cache entry is keyed by name, not position); pre-corner /
+        # pre-scenario pickles resolve via the class defaults and are
+        # re-stamped identically.
+        for ci, (c, s) in enumerate(zip(corners, loaded)):
+            s.corner = c.name
+            s.corner_index = ci
+            s.scenario = scen.scenario_id
+            # Execution knob, not content: re-stamp from the current
+            # config (cache keys deliberately ignore it).
+            s.partition_pins = flow_config.partition_pins
+            out[si * len(corners) + ci] = s
+
+    if not missing:
+        logger.info("loaded %s from cache (%d corner(s) × %d scenario(s))",
+                    name, len(corners), len(resolved))
+        return [s for s in out if s is not None], "cached"
+
+    to_build = [resolved[si] for si in missing]
+    if len(to_build) == 1 and to_build[0].is_default:
+        # The historic single-flow path, byte-for-byte (no store).
+        logger.info("running flow for %s", name)
+        flows = [run_flow(name, flow_config)]
+    else:
+        logger.info("running %d scenario flow(s) for %s", len(to_build),
+                    name)
+        flows = _run_scenario_flows(name, flow_config, to_build, cache_dir)
+    for si, flow in zip(missing, flows):
+        samples = build_corner_samples(
+            flow, map_bins=map_bins, seed=seed,
+            partition_pins=flow_config.partition_pins)
+        for ci, sample in enumerate(samples):
+            out[si * len(corners) + ci] = sample
+            if cache_dir is not None:
+                atomic_pickle_dump(sample, sample_cache_path(
+                    cache_dir, name, flow_config, map_bins, seed,
+                    corner=sample.corner,
+                    scenario=resolved[si].scenario_id))
+    return [s for s in out if s is not None], "built"
+
+
+def _run_scenario_flows(name: str, flow_config: FlowConfig,
+                        scenarios: List[ScenarioSpec],
+                        cache_dir: Optional[Path]) -> List["FlowResult"]:
+    """Run a scenario batch through a shared (disk-backed) stage store.
+
+    The disk layer under ``<cache_dir>/stages`` lets an interrupted or
+    re-run scenario build resume from the deepest stage already
+    produced; the default single-scenario path never reaches here, so it
+    stays free of stage I/O.
+    """
+    from repro.flow import StageStore, run_scenarios
+
+    store = StageStore(Path(cache_dir) / "stages"
+                       if cache_dir is not None else None)
+    return run_scenarios(name, flow_config, scenarios, store=store)
 
 
 def load_or_build_sample(name: str, flow_config: FlowConfig,
@@ -322,7 +385,9 @@ def build_dataset(designs: List[str],
                   map_bins: int = 64,
                   cache_dir: Optional[Path] = None,
                   seed: int = 0,
-                  jobs: Optional[int] = None) -> List[DesignSample]:
+                  jobs: Optional[int] = None,
+                  scenarios: Optional[List[ScenarioSpec]] = None,
+                  ) -> List[DesignSample]:
     """Run the reference flow on each design and build samples.
 
     Results are cached on disk keyed by the full-config hash (see
@@ -330,14 +395,17 @@ def build_dataset(designs: List[str],
     ``jobs > 1`` designs are built in parallel worker processes (see
     :mod:`repro.ml.parallel`); serial and parallel builds produce
     identical samples.  With a multi-corner ``flow_config`` each design
-    contributes ``len(corners)`` consecutive samples (design-major,
-    corner-minor).  Raises ``RuntimeError`` if any design still fails
-    after the per-design retry; use :func:`build_dataset_report` to
-    inspect partial results instead.
+    contributes ``len(corners)`` consecutive samples, and with
+    *scenarios* (see :func:`repro.flow.expand_scenarios`) each design
+    contributes ``len(scenarios) × len(corners)`` samples
+    (design-major, scenario-major, corner-minor).  Raises
+    ``RuntimeError`` if any design still fails after the per-design
+    retry; use :func:`build_dataset_report` to inspect partial results
+    instead.
     """
     samples, report = build_dataset_report(
         designs, flow_config=flow_config, map_bins=map_bins,
-        cache_dir=cache_dir, seed=seed, jobs=jobs)
+        cache_dir=cache_dir, seed=seed, jobs=jobs, scenarios=scenarios)
     failed = report.failed
     if failed:
         details = "; ".join(f"{s.design}: {s.error}" for s in failed)
@@ -353,6 +421,7 @@ def build_dataset_report(designs: List[str],
                          cache_dir: Optional[Path] = None,
                          seed: int = 0,
                          jobs: Optional[int] = None,
+                         scenarios: Optional[List[ScenarioSpec]] = None,
                          _fail_once: Optional[Dict[str, str]] = None):
     """Like :func:`build_dataset` but fault-tolerant and introspectable.
 
@@ -375,9 +444,11 @@ def build_dataset_report(designs: List[str],
     if jobs is not None and jobs > 1:
         return build_dataset_parallel(
             designs, flow_config, map_bins=map_bins, cache_dir=cache_dir,
-            seed=seed, jobs=jobs, _fail_once=_fail_once)
+            seed=seed, jobs=jobs, scenarios=scenarios,
+            _fail_once=_fail_once)
 
-    n_corners = len(flow_config.corner_set())
+    n_per_design = (len(flow_config.corner_set())
+                    * (len(scenarios) if scenarios else 1))
     samples: List[Optional[DesignSample]] = []
     statuses: List[DesignBuildStatus] = []
     wall_start = time.perf_counter()
@@ -386,7 +457,7 @@ def build_dataset_report(designs: List[str],
         try:
             built, status = load_or_build_samples(
                 name, flow_config, map_bins=map_bins, seed=seed,
-                cache_dir=cache_dir)
+                cache_dir=cache_dir, scenarios=scenarios)
             samples.extend(built)
             statuses.append(DesignBuildStatus(
                 design=name, status=status, attempts=1,
@@ -394,7 +465,7 @@ def build_dataset_report(designs: List[str],
         except Exception as exc:
             logger.warning("building %s failed: %s: %s", name,
                            type(exc).__name__, exc)
-            samples.extend([None] * n_corners)
+            samples.extend([None] * n_per_design)
             statuses.append(DesignBuildStatus(
                 design=name, status="failed", attempts=1,
                 duration_s=time.perf_counter() - start,

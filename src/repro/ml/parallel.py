@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.flow import FlowConfig
+from repro.flow import FlowConfig, ScenarioSpec
 from repro.ml.sample import DesignSample
 from repro.obs import get_metrics, get_tracer, merge_worker_traces
 from repro.obs.merge import worker_trace_path
@@ -124,6 +124,10 @@ class _BuildTask:
     attempt: int
     trace_dir: Optional[str]
     fail_mode: Optional[str]  # fault injection: "raise" | "crash" | None
+    #: Scenario variants to build (empty = the single default scenario).
+    #: ``ScenarioSpec`` is a frozen dataclass, so the task still pickles
+    #: (and hashes) cleanly.
+    scenarios: Tuple[ScenarioSpec, ...] = ()
 
 
 def _worker_init(trace_dir: Optional[str], tracing: bool) -> None:
@@ -163,7 +167,8 @@ def _build_one(task: _BuildTask
     samples, status = load_or_build_samples(
         task.design, task.flow_config, map_bins=task.map_bins,
         seed=task.seed,
-        cache_dir=Path(task.cache_dir) if task.cache_dir else None)
+        cache_dir=Path(task.cache_dir) if task.cache_dir else None,
+        scenarios=list(task.scenarios) or None)
     duration = time.perf_counter() - start
 
     tracer = get_tracer()
@@ -196,24 +201,29 @@ def build_dataset_parallel(
         cache_dir: Optional[Path] = None,
         seed: int = 0,
         jobs: int = 2,
+        scenarios: Optional[List[ScenarioSpec]] = None,
         _fail_once: Optional[Dict[str, str]] = None,
 ) -> Tuple[List[Optional[DesignSample]], BuildReport]:
     """Build samples for *designs* across ``jobs`` worker processes.
 
     Returns ``(samples, report)``; *samples* is design-major,
-    corner-minor (``len(corners)`` consecutive entries per design, one
-    for the default single-corner config) and holds ``None`` for
-    designs that failed after their retry.  ``_fail_once`` injects a
-    fault on a design's first attempt (``"raise"`` → exception in the
-    worker, ``"crash"`` → the worker process dies, breaking the pool)
-    — used by the crash-tolerance tests.
+    scenario-major, corner-minor (``len(scenarios) × len(corners)``
+    consecutive entries per design; one for the default config) and
+    holds ``None`` for designs that failed after their retry.  Each
+    worker builds all scenario variants of its design through one
+    shared stage store, so the sweep/ECO reuse of the serial path is
+    preserved per worker.  ``_fail_once`` injects a fault on a design's
+    first attempt (``"raise"`` → exception in the worker, ``"crash"`` →
+    the worker process dies, breaking the pool) — used by the
+    crash-tolerance tests.
     """
     jobs = max(1, int(jobs))
     fail_once = dict(_fail_once or {})
     tracer = get_tracer()
     tracing = tracer.enabled
 
-    n_corners = len(flow_config.corner_set())
+    n_per_design = (len(flow_config.corner_set())
+                    * (len(scenarios) if scenarios else 1))
     per_design: List[Optional[List[DesignSample]]] = [None] * len(designs)
     statuses: Dict[int, DesignBuildStatus] = {}
     wall_start = time.perf_counter()
@@ -231,7 +241,8 @@ def build_dataset_parallel(
                 map_bins=map_bins, seed=seed,
                 cache_dir=str(cache_dir) if cache_dir is not None else None,
                 attempt=attempt, trace_dir=trace_dir_arg,
-                fail_mode=fail_once.get(name))
+                fail_mode=fail_once.get(name),
+                scenarios=tuple(scenarios or ()))
             pending[executor.submit(_build_one, task)] = (task, generation)
 
         with tracer.span("dataset.parallel_build", jobs=jobs,
@@ -284,7 +295,8 @@ def build_dataset_parallel(
 
     samples: List[Optional[DesignSample]] = []
     for built in per_design:
-        samples.extend(built if built is not None else [None] * n_corners)
+        samples.extend(built if built is not None
+                       else [None] * n_per_design)
     report = BuildReport(
         statuses=[statuses[i] for i in range(len(designs))],
         jobs=jobs,

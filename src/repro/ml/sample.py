@@ -94,6 +94,14 @@ class DesignSample:
     corner: str = "base"
     corner_index: int = 0
 
+    # --- scenario axis ---------------------------------------------------
+    #: Scenario id this sample's flow variant belongs to (``""`` = the
+    #: default flow; see :mod:`repro.flow.scenario`).  A *dataset*
+    #: dimension, not a model input: the predictor sees the variant only
+    #: through its shifted features/labels.  Class-level default keeps
+    #: pre-scenario pickles valid.
+    scenario: str = ""
+
     # --- partitioned execution -------------------------------------------
     #: Chunk-size hint for the streaming inference path: when set, level
     #: execution streams over ≲ this many pins at a time (see

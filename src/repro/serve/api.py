@@ -285,6 +285,9 @@ class DesignInfo:
     revision: int
     whatifs_served: int
     corners: Tuple[str, ...] = ("base",)
+    #: Flow scenario the session serves (``""`` = the default flow; see
+    #: :mod:`repro.flow.scenario`).
+    scenario: str = ""
 
     def to_wire(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -297,6 +300,8 @@ class DesignInfo:
         }
         if len(self.corners) > 1:   # single-corner shape stays byte-stable
             out["corners"] = list(self.corners)
+        if self.scenario:           # default-scenario shape stays byte-stable
+            out["scenario"] = self.scenario
         return out
 
 

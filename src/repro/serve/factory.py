@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.predictor import TimingPredictor
-from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.flow import FlowConfig, FlowResult, ScenarioSpec, run_scenario_flow
 from repro.ml.sample import DesignSample
 from repro.serve.session import DesignSession, Edit
 from repro.utils import require
@@ -56,6 +56,12 @@ class SessionFactory:
         Streaming chunk-size hint stamped on every built session (see
         :mod:`repro.timing.partition`).  Defaults to the flow config's
         knob so one ``--partition-pins`` flag covers both paths.
+    scenario:
+        Flow scenario (a :class:`~repro.flow.ScenarioSpec` or its id
+        string, e.g. ``"clock_frac0.7+eco1"``) applied when the factory
+        runs a flow itself — what-ifs are then asked at the swept clock
+        / post-ECO implementation.  The default is the plain flow;
+        adopted ``FlowResult``\\ s keep whatever scenario they carry.
     """
 
     def __init__(self, acquire: Callable[[], TimingPredictor],
@@ -63,7 +69,8 @@ class SessionFactory:
                  flow_config: Optional[FlowConfig] = None,
                  corners: Optional[Sequence[str]] = None,
                  default_seed: int = 0,
-                 partition_pins: Optional[int] = None) -> None:
+                 partition_pins: Optional[int] = None,
+                 scenario: Union[ScenarioSpec, str, None] = None) -> None:
         require(callable(acquire), "acquire must be a callable")
         self.acquire = acquire
         self.batcher = batcher
@@ -73,6 +80,9 @@ class SessionFactory:
         if partition_pins is None and flow_config is not None:
             partition_pins = flow_config.partition_pins
         self.partition_pins = partition_pins
+        if isinstance(scenario, str):
+            scenario = ScenarioSpec.parse(scenario)
+        self.scenario = scenario
 
     def open(self, design: Union[str, FlowResult],
              sample: Optional[DesignSample] = None,
@@ -92,8 +102,11 @@ class SessionFactory:
         if isinstance(design, FlowResult):
             flow = design
         else:
-            flow = run_flow(design, self.flow_config
-                            or FlowConfig(base_seed=seed))
+            # The default scenario routes through the plain run_flow
+            # path inside run_scenario_flow — byte-identical behavior.
+            flow = run_scenario_flow(
+                design, self.flow_config or FlowConfig(base_seed=seed),
+                scenario=self.scenario)
         if self.batcher is not None:
             predictor = self.batcher.predictor
             infer = self.batcher.submit

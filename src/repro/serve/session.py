@@ -165,6 +165,10 @@ class DesignSession:
         self.netlist = flow.input_netlist
         self.placement = flow.input_placement
         self.clock_period = flow.clock_period
+        #: Flow scenario this session serves ("" = the default flow);
+        #: carried by the FlowResult (so it survives the fleet's worker
+        #: pipe) and surfaced through /designs.
+        self.scenario = getattr(flow, "scenario", "")
         self.revision = 0          # bumped on every committed edit batch
         self.whatifs_served = 0
         self._lock = threading.RLock()
@@ -425,7 +429,8 @@ class DesignSession:
             clock_period_ps=float(self.clock_period),
             revision=self.revision,
             whatifs_served=self.whatifs_served,
-            corners=self.corners).to_wire()
+            corners=self.corners,
+            scenario=self.scenario).to_wire()
 
     # ------------------------------------------------------------------
     @contextmanager

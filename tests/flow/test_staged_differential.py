@@ -1,0 +1,238 @@
+"""Differential battery: the staged flow must equal the seed monolith.
+
+``run_flow`` was decomposed into the staged pipeline of
+:mod:`repro.flow.stages`.  The refactor's contract is *bit-identity on
+the default path*: same ``FlowConfig`` fingerprints, same dataset cache
+paths, same STA arrays, same sample bytes.  This module pins all four,
+per preset, against a frozen copy of the seed monolithic flow body —
+any behavioral drift in the staged decomposition fails here loudly
+instead of silently invalidating every cached artifact in the wild.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig, FlowResult, run_flow
+from repro.ml.dataset import build_sample, sample_cache_path
+from repro.netlist import DESIGN_PRESETS, DesignSpec
+from repro.utils import StageTimer
+
+#: Every paper preset ("large" is bench-only and 40x the size).
+PAPER_DESIGNS = tuple(n for n, s in DESIGN_PRESETS.items()
+                      if s.split != "bench")
+
+#: Small scale so the full battery stays fast while still exercising
+#: every preset's distinct topology mix.
+_SCALE = 0.25
+
+# The flow-config fingerprints every cached artifact in the wild was
+# built under, frozen before the staged refactor (and before MMMC — see
+# tests/flow/test_corner_differential.py for the original freeze).
+_FROZEN_FINGERPRINTS = {
+    (): "cdb8b81cfcee4c78",
+    (("scale", 0.25), ("base_seed", 0)): "50e2c34be3065089",
+    (("base_seed", 1),): "68e9e724f4b45bbb",
+    (("scale", 0.25), ("base_seed", 0),
+     ("with_opt", False)): "0a81ec2ba312ffcb",
+}
+
+
+def _reference_monolithic_flow(name: str, config: FlowConfig) -> FlowResult:
+    """The seed ``run_flow_on_spec`` body, frozen verbatim.
+
+    This is a copy of the pre-refactor monolith (commit history:
+    "Add partition-aware streaming execution..."), kept here as the
+    ground truth the staged pipeline is diffed against.  Do not
+    "modernize" it — its whole value is that it does not change.
+    """
+    from repro.netlist import generate_netlist
+    from repro.opt import TimingOptimizer
+    from repro.placement import (
+        Placement,
+        build_die,
+        compute_layout_maps,
+        legalize,
+        place,
+    )
+    from repro.route import route
+    from repro.timing import PreRouteEstimator, build_timing_graph, run_sta
+
+    spec = DESIGN_PRESETS[name].scaled(config.scale)
+    timer = StageTimer(design=spec.name)
+
+    netlist = generate_netlist(spec, config.base_seed)
+    die = build_die(netlist, spec, config.base_seed)
+
+    with timer.stage("place"):
+        placement = place(netlist, die, config.placer)
+        legalize(netlist, placement)
+
+    input_maps = compute_layout_maps(netlist, placement,
+                                     m=config.map_bins, n=config.map_bins)
+
+    graph = build_timing_graph(netlist)
+    unconstrained = run_sta(graph, PreRouteEstimator(netlist, placement),
+                            clock_period=1.0)
+    clock_period = spec.clock_frac * unconstrained.max_arrival
+    pre_route_sta = run_sta(graph, PreRouteEstimator(netlist, placement),
+                            clock_period)
+
+    opt_netlist = netlist.clone()
+    opt_placement = Placement(die=die, cell_xy=dict(placement.cell_xy))
+    opt_report = None
+    if config.with_opt:
+        with timer.stage("opt"):
+            optimizer = TimingOptimizer(opt_netlist, opt_placement,
+                                        config.optimizer)
+            opt_report = optimizer.run(clock_period)
+
+    with timer.stage("route"):
+        routing = route(opt_netlist, opt_placement, config.router)
+
+    with timer.stage("sta"):
+        signoff_graph = build_timing_graph(opt_netlist)
+        signoff_sta = run_sta(signoff_graph, routing.lengths, clock_period)
+        corner_signoff = {}
+        for corner in config.corner_set():
+            if corner.name == "base":
+                corner_signoff["base"] = signoff_sta
+            else:
+                corner_signoff[corner.name] = run_sta(
+                    signoff_graph, routing.lengths, clock_period,
+                    corner=corner)
+
+    return FlowResult(spec=spec, clock_period=clock_period,
+                      input_netlist=netlist, input_placement=placement,
+                      input_maps=input_maps, pre_route_sta=pre_route_sta,
+                      opt_netlist=opt_netlist, opt_placement=opt_placement,
+                      opt_report=opt_report, routing=routing,
+                      signoff_sta=signoff_sta, timer=timer,
+                      corner_signoff=corner_signoff)
+
+
+def _normalized_sample_bytes(flow: FlowResult, seed: int = 0) -> bytes:
+    """Sample pickle bytes with wall-clock fields zeroed.
+
+    ``flow_times`` / ``preprocess_time`` are the only nondeterministic
+    sample fields; everything else must match byte-for-byte.
+    """
+    sample = build_sample(flow, map_bins=32, seed=seed)
+    sample.flow_times = {k: 0.0 for k in sorted(sample.flow_times)}
+    sample.preprocess_time = 0.0
+    return pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Cache-key stability
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs,expected",
+                         [(dict(k), v)
+                          for k, v in _FROZEN_FINGERPRINTS.items()])
+def test_fingerprints_survive_staged_refactor(kwargs, expected):
+    assert FlowConfig(**kwargs).fingerprint() == expected
+
+
+def test_default_cache_path_has_no_scenario_tag(tmp_path):
+    cfg = FlowConfig(scale=0.25, base_seed=0)
+    plain = sample_cache_path(tmp_path, "xgate", cfg, 32, 0)
+    explicit = sample_cache_path(tmp_path, "xgate", cfg, 32, 0, scenario="")
+    assert plain == explicit
+    assert "@" not in plain.name          # the pre-scenario filename, exactly
+    swept = sample_cache_path(tmp_path, "xgate", cfg, 32, 0,
+                              scenario="clock_frac0.7")
+    assert swept != plain
+    assert "@clock_frac0.7" in swept.name
+
+
+def test_scenario_tag_composes_with_corner_tag(tmp_path):
+    cfg = FlowConfig(scale=0.25, base_seed=0)
+    both = sample_cache_path(tmp_path, "xgate", cfg, 32, 0,
+                             corner="slow", scenario="clock_frac0.7+eco1")
+    assert both.name.startswith("xgate@slow@clock_frac0.7+eco1_")
+
+
+# ----------------------------------------------------------------------
+# Flow-output identity, every preset
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=PAPER_DESIGNS)
+def flow_pair(request):
+    cfg = FlowConfig(scale=_SCALE, base_seed=0)
+    return (_reference_monolithic_flow(request.param, cfg),
+            run_flow(request.param, cfg))
+
+
+def test_staged_flow_matches_monolith(flow_pair):
+    ref, staged = flow_pair
+    assert staged.clock_period == ref.clock_period
+    np.testing.assert_array_equal(staged.pre_route_sta.arrival,
+                                  ref.pre_route_sta.arrival)
+    np.testing.assert_array_equal(staged.pre_route_sta.required,
+                                  ref.pre_route_sta.required)
+    np.testing.assert_array_equal(staged.signoff_sta.arrival,
+                                  ref.signoff_sta.arrival)
+    np.testing.assert_array_equal(staged.signoff_sta.required,
+                                  ref.signoff_sta.required)
+    assert (staged.signoff_sta.endpoint_slack
+            == ref.signoff_sta.endpoint_slack)
+    assert staged.signoff_sta.wns == ref.signoff_sta.wns
+    assert staged.signoff_sta.tns == ref.signoff_sta.tns
+
+
+def test_staged_flow_shape_and_labels(flow_pair):
+    ref, staged = flow_pair
+    # Same structural invariants as the monolith's result.
+    assert staged.spec == ref.spec
+    assert staged.corner_names == ref.corner_names == ("base",)
+    assert staged.corner_signoff["base"] is staged.signoff_sta
+    assert staged.scenario == ""          # the default flow carries no tag
+    assert staged.endpoint_labels() == ref.endpoint_labels()
+    assert (sorted(staged.input_placement.cell_xy)
+            == sorted(ref.input_placement.cell_xy))
+    np.testing.assert_array_equal(staged.input_maps.stacked(),
+                                  ref.input_maps.stacked())
+    # The historic StageTimer stage set, exactly — sample.flow_times
+    # keys are part of the sample contract.
+    assert set(staged.timer.stages) == set(ref.timer.stages)
+
+
+def test_sample_bytes_identical(flow_pair):
+    ref, staged = flow_pair
+    assert (_normalized_sample_bytes(staged)
+            == _normalized_sample_bytes(ref))
+
+
+# ----------------------------------------------------------------------
+# Spot checks off the default config
+# ----------------------------------------------------------------------
+def test_no_opt_flow_matches_monolith():
+    cfg = FlowConfig(scale=_SCALE, base_seed=0, with_opt=False)
+    ref = _reference_monolithic_flow("xgate", cfg)
+    staged = run_flow("xgate", cfg)
+    assert staged.clock_period == ref.clock_period
+    assert staged.opt_report is None and ref.opt_report is None
+    np.testing.assert_array_equal(staged.signoff_sta.arrival,
+                                  ref.signoff_sta.arrival)
+    assert _normalized_sample_bytes(staged) == _normalized_sample_bytes(ref)
+
+
+def test_reseeded_flow_matches_monolith():
+    cfg = FlowConfig(scale=_SCALE, base_seed=3)
+    ref = _reference_monolithic_flow("xgate", cfg)
+    staged = run_flow("xgate", cfg)
+    np.testing.assert_array_equal(staged.signoff_sta.arrival,
+                                  ref.signoff_sta.arrival)
+    assert _normalized_sample_bytes(staged) == _normalized_sample_bytes(ref)
+
+
+def test_multi_corner_flow_matches_monolith():
+    cfg = FlowConfig(scale=_SCALE, base_seed=0,
+                     corners=("base", "fast", "slow"))
+    ref = _reference_monolithic_flow("xgate", cfg)
+    staged = run_flow("xgate", cfg)
+    assert staged.corner_names == ref.corner_names
+    assert staged.corner_signoff["base"] is staged.signoff_sta
+    for name in ref.corner_names:
+        np.testing.assert_array_equal(staged.signoff_at(name).arrival,
+                                      ref.signoff_at(name).arrival)

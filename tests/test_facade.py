@@ -1,0 +1,25 @@
+"""Every symbol the lazy ``repro`` façade advertises must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_facade_symbol_resolves(name):
+    value = getattr(repro, name)
+    assert value is not None
+    # The façade must re-export the defining module's object, not a copy.
+    module = importlib.import_module(repro._EXPORTS[name])
+    assert getattr(module, name) is value
+
+
+def test_facade_rejects_unknown_symbols():
+    with pytest.raises(AttributeError):
+        repro.no_such_symbol
+
+
+def test_dir_lists_the_whole_facade():
+    assert set(repro.__all__) <= set(dir(repro))
